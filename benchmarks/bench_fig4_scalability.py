@@ -1,0 +1,67 @@
+"""Figure 4 — scalability: runtime vs number of edges.
+
+Part (i) prints the cached protocol's (edges, runtime) series binned
+per decade, per family — the paper's scatter.  Part (ii) benchmarks
+UMC on synthetic graphs of growing size to expose the near-linear
+scaling directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import save_report
+
+from repro.evaluation.report import render_table
+from repro.experiments.efficiency import scalability_points
+from repro.graph import SimilarityGraph
+from repro.matching import UniqueMappingClustering
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+
+def _random_graph(n_edges: int, seed: int = 0) -> SimilarityGraph:
+    rng = np.random.default_rng(seed)
+    side = max(int(np.sqrt(n_edges)), 2)
+    left = rng.integers(0, side, n_edges)
+    right = rng.integers(0, side, n_edges)
+    weight = rng.uniform(0.01, 1.0, n_edges)
+    return SimilarityGraph(side, side, left, right, weight, validate=False)
+
+
+@pytest.mark.parametrize("n_edges", [1_000, 10_000, 100_000])
+def test_umc_scaling(benchmark, n_edges):
+    graph = _random_graph(n_edges)
+    matcher = UniqueMappingClustering()
+    result = benchmark(matcher.match, graph, 0.3)
+    result.validate(graph)
+
+
+def test_fig4_scalability_report(benchmark, experiment_results):
+    figure = benchmark(scalability_points, experiment_results)
+
+    sections = []
+    for family, by_algorithm in figure.items():
+        rows = []
+        for code in PAPER_ALGORITHM_CODES:
+            points = by_algorithm[code]
+            if not points:
+                continue
+            edges = np.array([e for e, _ in points])
+            seconds = np.array([s for _, s in points])
+            # Bin per decade of edge count.
+            cells = []
+            for low, high in [(0, 1e3), (1e3, 1e4), (1e4, 1e5)]:
+                mask = (edges >= low) & (edges < high)
+                cells.append(
+                    f"{1000 * seconds[mask].mean():.1f}" if mask.any() else "-"
+                )
+            rows.append([code, *cells])
+        sections.append(
+            render_table(
+                ["alg", "<1K edges (ms)", "1-10K (ms)", "10-100K (ms)"],
+                rows,
+                title=f"Figure 4 — runtime vs edges ({family})",
+            )
+        )
+    save_report("fig4_scalability", "\n\n".join(sections))
+    assert sections

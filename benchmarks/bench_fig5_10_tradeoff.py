@@ -1,0 +1,56 @@
+"""Figures 5 and 10 — F-measure / runtime trade-off per dataset.
+
+One scatter per dataset: every (algorithm, input family) combination
+plotted by macro-average F1 and runtime; the Pareto frontier names
+the dominating combinations.  Expected shape (paper): UMC with
+syntactic weights sits on or near the frontier almost everywhere.
+The benchmark measures the trade-off aggregation across all datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.evaluation.report import render_table
+from repro.experiments.tradeoff import dominating_points, tradeoff_points
+
+
+def _all_tradeoffs(results):
+    datasets = sorted({r.dataset for r in results}, key=lambda c: int(c[1:]))
+    return {ds: tradeoff_points(results, ds) for ds in datasets}
+
+
+def test_fig5_10_tradeoff(benchmark, experiment_results):
+    per_dataset = benchmark(_all_tradeoffs, experiment_results)
+
+    sections = []
+    frontier_algorithms: set[str] = set()
+    for dataset, points in per_dataset.items():
+        frontier = dominating_points(points)
+        frontier_algorithms.update(p.algorithm for p in frontier)
+        rows = [
+            [
+                p.algorithm,
+                p.family.replace("schema_", ""),
+                f"{p.mean_f1:.3f}",
+                f"{1000 * p.mean_seconds:.1f}",
+                "*" if p in frontier else "",
+            ]
+            for p in sorted(points, key=lambda p: -p.mean_f1)
+        ]
+        title = (
+            f"Figure {'5' if dataset == 'd1' else '10'} — trade-off on "
+            f"{dataset} (* = Pareto frontier)"
+        )
+        sections.append(
+            render_table(
+                ["alg", "family", "mean F1", "mean ms", "front"],
+                rows,
+                title=title,
+            )
+        )
+    save_report("fig5_10_tradeoff", "\n\n".join(sections))
+
+    assert per_dataset
+    # Some effective greedy algorithm must appear on the frontier.
+    assert frontier_algorithms & {"UMC", "EXC", "BMC", "CNC", "KRC"}

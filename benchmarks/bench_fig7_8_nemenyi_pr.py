@@ -1,0 +1,42 @@
+"""Figures 7 and 8 — Nemenyi diagrams on precision and recall.
+
+Expected shape (paper): CNC ranks first on precision; UMC first and
+KRC second on recall.  The benchmark measures the rank computation on
+both metrics.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.evaluation.stats import mean_ranks, nemenyi_diagram
+from repro.experiments.effectiveness import score_matrix
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+
+def _both_rankings(precision_scores, recall_scores):
+    return mean_ranks(precision_scores), mean_ranks(recall_scores)
+
+
+def test_fig7_8_nemenyi_precision_recall(benchmark, experiment_results):
+    precision_scores = score_matrix(experiment_results, "precision")
+    recall_scores = score_matrix(experiment_results, "recall")
+    precision_ranks, recall_ranks = benchmark(
+        _both_rankings, precision_scores, recall_scores
+    )
+
+    text = (
+        "Figure 7 — Nemenyi diagram on Precision\n"
+        + nemenyi_diagram(list(PAPER_ALGORITHM_CODES), precision_scores)
+        + "\n\nFigure 8 — Nemenyi diagram on Recall\n"
+        + nemenyi_diagram(list(PAPER_ALGORITHM_CODES), recall_scores)
+    )
+    save_report("fig7_8_nemenyi_pr", text)
+
+    precision_by_code = dict(zip(PAPER_ALGORITHM_CODES, precision_ranks))
+    recall_by_code = dict(zip(PAPER_ALGORITHM_CODES, recall_ranks))
+    # Paper: best precision rank is CNC's; best recall rank is UMC's,
+    # with KRC in second place.
+    assert min(precision_by_code, key=precision_by_code.get) == "CNC"
+    recall_order = sorted(recall_by_code, key=recall_by_code.get)
+    assert {"UMC", "KRC"} <= set(recall_order[:3])

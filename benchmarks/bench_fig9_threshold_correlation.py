@@ -1,0 +1,47 @@
+"""Figure 9 — Pearson correlation between the algorithms' thresholds.
+
+Expected shape (paper): strongly positive correlations ("well above
+0.8 in the vast majority of cases" for syntactic weights) — the
+optimal threshold depends on the input, not the algorithm.  The
+benchmark measures the correlation-matrix computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_report
+
+from repro.evaluation.report import render_table
+from repro.experiments.thresholds import threshold_correlations
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+
+def test_fig9_threshold_correlations(benchmark, experiment_results):
+    figure = benchmark(threshold_correlations, experiment_results)
+
+    sections = []
+    syntactic_offdiag = []
+    for family, matrix in figure.items():
+        rows = [
+            [
+                PAPER_ALGORITHM_CODES[i],
+                *[f"{matrix[i, j]:+.2f}" for j in range(matrix.shape[1])],
+            ]
+            for i in range(matrix.shape[0])
+        ]
+        sections.append(
+            render_table(
+                ["", *PAPER_ALGORITHM_CODES],
+                rows,
+                title=f"Figure 9 — threshold correlations ({family})",
+            )
+        )
+        if family.endswith("syntactic"):
+            mask = ~np.eye(matrix.shape[0], dtype=bool)
+            syntactic_offdiag.extend(matrix[mask].tolist())
+    save_report("fig9_threshold_correlation", "\n\n".join(sections))
+
+    # Shape: cross-algorithm threshold correlations are positive on
+    # average for the syntactic families.
+    if syntactic_offdiag:
+        assert np.mean(syntactic_offdiag) > 0.3

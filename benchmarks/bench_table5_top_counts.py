@@ -1,0 +1,48 @@
+"""Table 5 — #Top1 / Delta(%) / #Top2 per family and dataset category.
+
+Which algorithm wins how often on balanced (BLC), one-sided (OSD) and
+scarce (SCR) collections, per input family.  Expected shape (paper):
+KRC and UMC collect most wins, with UMC strongest on balanced
+collections and KRC/EXC on scarce ones.  The benchmark measures the
+ranking aggregation.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.evaluation.report import render_table
+from repro.experiments.effectiveness import top_counts
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+
+def test_table5_top_counts(benchmark, experiment_results):
+    table = benchmark(top_counts, experiment_results)
+
+    sections = []
+    for (family, category), counters in sorted(table.items()):
+        body = [
+            [
+                code,
+                counters[code].top1,
+                f"{counters[code].delta_percent:.2f}",
+                counters[code].top2,
+            ]
+            for code in PAPER_ALGORITHM_CODES
+        ]
+        sections.append(
+            render_table(
+                ["alg", "#Top1", "Delta(%)", "#Top2"],
+                body,
+                title=f"Table 5 — {family} / {category}",
+            )
+        )
+    save_report("table5_top_counts", "\n\n".join(sections))
+
+    # Aggregate shape: KRC + UMC collect a plurality of Top1 wins.
+    total_wins = {code: 0 for code in PAPER_ALGORITHM_CODES}
+    for counters in table.values():
+        for code, cell in counters.items():
+            total_wins[code] += cell.top1
+    leaders = sorted(total_wins, key=total_wins.get, reverse=True)[:4]
+    assert {"KRC", "UMC"} & set(leaders)

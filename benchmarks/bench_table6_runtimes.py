@@ -1,0 +1,76 @@
+"""Table 6 — mean runtime per algorithm, dataset and input family.
+
+Two parts: (i) the aggregated sweep runtimes of the cached protocol,
+printed per dataset/family exactly like Table 6; (ii) pytest-benchmark
+measurements of every algorithm's ``match`` call on one shared
+representative graph — the paper's "time between receiving the graph
+and returning the partitions".
+
+Expected shape (paper): CNC fastest, BMC close behind, BAH orders of
+magnitude slower, KRC the slowest of the effective algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import save_report
+
+from repro.evaluation.report import render_table
+from repro.experiments.efficiency import runtime_rank_order, runtime_table
+from repro.graph import SimilarityGraph
+from repro.matching import create_matcher
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+
+def _representative_graph(n_left=300, n_right=400, seed=1):
+    rng = np.random.default_rng(seed)
+    matrix = np.clip(rng.normal(0.25, 0.12, (n_left, n_right)), 0.0, 1.0)
+    diag = min(n_left, n_right)
+    matrix[np.arange(diag), np.arange(diag)] = np.clip(
+        rng.normal(0.8, 0.07, diag), 0, 1
+    )
+    return SimilarityGraph.from_matrix(matrix)
+
+
+GRAPH = _representative_graph()
+
+
+@pytest.mark.parametrize("code", PAPER_ALGORITHM_CODES)
+def test_algorithm_runtime(benchmark, code):
+    if code == "BAH":
+        matcher = create_matcher(code, max_moves=2_000, time_limit=2.0)
+    else:
+        matcher = create_matcher(code)
+    result = benchmark(matcher.match, GRAPH, 0.5)
+    result.validate(GRAPH)
+
+
+def test_table6_runtime_report(benchmark, experiment_results):
+    cells = benchmark(runtime_table, experiment_results)
+
+    keys = sorted({(c.dataset, c.family) for c in cells})
+    rows = []
+    for dataset, family in keys:
+        row: list[object] = [dataset, family.replace("schema_", "")]
+        for code in PAPER_ALGORITHM_CODES:
+            cell = next(
+                c for c in cells
+                if c.dataset == dataset and c.family == family
+                and c.algorithm == code
+            )
+            row.append(f"{1000 * cell.mean_seconds:.1f}")
+        rows.append(row)
+    table = render_table(
+        ["ds", "family", *PAPER_ALGORITHM_CODES],
+        rows,
+        title="Table 6 — mean runtime (ms) at the optimal threshold",
+    )
+    order = runtime_rank_order(experiment_results)
+    table += f"\noverall runtime order (fastest first): {' < '.join(order)}"
+    save_report("table6_runtimes", table)
+
+    # Shape: BAH is the slowest algorithm overall by a wide margin.
+    assert order[-1] == "BAH"
+    # CNC/BMC belong to the fast group.
+    assert {"CNC", "BMC"} & set(order[:4])

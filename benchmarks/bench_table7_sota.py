@@ -1,0 +1,66 @@
+"""Table 7 — tuned UMC vs the state-of-the-art stand-ins (D2-D5).
+
+Expected shape (paper): UMC beats the unsupervised comparator
+(ZeroER) consistently; the supervised learned model wins at most on
+the noisiest product dataset.  The benchmark measures one ZeroER-like
+end-to-end matching (EM fit + posterior matching).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import save_report
+
+from repro.baselines import ZeroERLikeMatcher
+from repro.evaluation.report import render_table
+from repro.experiments.sota import run_sota_comparison
+from repro.graph import SimilarityGraph
+
+
+def _zeroer_workload():
+    rng = np.random.default_rng(7)
+    n = 150
+    matrix = np.clip(rng.normal(0.3, 0.1, (n, n)), 0.01, 1.0)
+    matrix[np.arange(n), np.arange(n)] = np.clip(
+        rng.normal(0.85, 0.05, n), 0, 1
+    )
+    return SimilarityGraph.from_matrix(matrix)
+
+
+def test_zeroer_like_end_to_end(benchmark):
+    graph = _zeroer_workload()
+    matcher = ZeroERLikeMatcher()
+    result = benchmark(matcher.match, graph, 0.0)
+    result.validate(graph)
+    assert len(result.pairs) > 0
+
+
+def test_table7_sota_comparison(benchmark):
+    rows = benchmark(
+        run_sota_comparison,
+        ("d2", "d3", "d4", "d5"),
+        0.04,
+        12_000,
+        42,
+        (("char", 2), ("token", 1), ("char", 4)),
+    )
+    body = [
+        [
+            row.dataset,
+            f"{row.zeroer_f1:.2f}",
+            f"{row.learned_f1:.2f}",
+            f"{row.umc_f1:.2f}",
+            f"({row.umc_model}, t={row.umc_threshold:.2f})",
+        ]
+        for row in rows
+    ]
+    table = render_table(
+        ["ds", "ZeroER-like", "Learned (DITTO role)", "UMC", "UMC config"],
+        body,
+        title="Table 7 — comparison to state-of-the-art matching stand-ins",
+    )
+    save_report("table7_sota", table)
+
+    # Shape: UMC outperforms the unsupervised baseline on most datasets.
+    wins = sum(1 for row in rows if row.umc_f1 >= row.zeroer_f1)
+    assert wins >= len(rows) - 1

@@ -1,0 +1,57 @@
+"""Table 8 — distribution of optimal similarity thresholds per family.
+
+Mean, std, quartiles of every algorithm's optimal threshold per input
+family, plus the Pearson correlation with the normalized graph size.
+Expected shape (paper): schema-based syntactic thresholds are high
+(negative size correlation), schema-agnostic syntactic thresholds are
+much lower (positive size correlation).  The benchmark measures the
+statistics computation.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.evaluation.report import render_table
+from repro.experiments.thresholds import threshold_stats
+
+
+def test_table8_threshold_stats(benchmark, experiment_results):
+    table = benchmark(threshold_stats, experiment_results)
+
+    sections = []
+    for family, rows in table.items():
+        body = [
+            [
+                row.algorithm,
+                f"{row.mean:.2f}±{row.std:.2f}",
+                f"{row.minimum:.2f}",
+                f"{row.q1:.2f}",
+                f"{row.median:.2f}",
+                f"{row.q3:.2f}",
+                f"{row.maximum:.2f}",
+                f"{row.correlation_with_size:+.2f}",
+            ]
+            for row in rows
+        ]
+        sections.append(
+            render_table(
+                ["alg", "mean±std", "min", "Q1", "Q2", "Q3", "max",
+                 "rho(t,size)"],
+                body,
+                title=f"Table 8 — optimal thresholds ({family})",
+            )
+        )
+    save_report("table8_threshold_stats", "\n\n".join(sections))
+
+    # Shape: schema-based syntactic thresholds are on average higher
+    # than schema-agnostic syntactic ones (the paper's headline).
+    if (
+        "schema_based_syntactic" in table
+        and "schema_agnostic_syntactic" in table
+    ):
+        sb = {r.algorithm: r.mean for r in table["schema_based_syntactic"]}
+        sa = {r.algorithm: r.mean
+              for r in table["schema_agnostic_syntactic"]}
+        higher = sum(1 for code in sb if sb[code] >= sa[code])
+        assert higher >= len(sb) // 2

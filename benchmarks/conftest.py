@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+The full experimental protocol (corpus generation + sweeps) runs once
+and is cached under ``.repro_cache/``; every table/figure bench
+aggregates the cached results.  Set ``REPRO_SMOKE=1`` to run the whole
+harness on the tiny smoke profile instead (used in CI-style checks).
+
+Every bench writes its rendered paper table to ``reports/<name>.txt``
+and prints it (visible with ``pytest -s`` or in the saved reports).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_BENCH_CONFIG,
+    SMOKE_CONFIG,
+    run_experiments,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORTS_DIR = REPO_ROOT / "reports"
+CACHE_DIR = REPO_ROOT / ".repro_cache"
+
+
+def active_config():
+    if os.environ.get("REPRO_SMOKE") == "1":
+        return SMOKE_CONFIG
+    return DEFAULT_BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def experiment_results():
+    """The cached full-protocol results (one run per session)."""
+    return run_experiments(active_config(), cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    return active_config()
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a rendered table under ``reports/`` and echo it."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = REPORTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[report saved to {path}]")
+    return path

@@ -1,0 +1,102 @@
+"""Product matching: an Abt-Buy style end-to-end CCER pipeline.
+
+The scenario the paper's introduction motivates: two online retailers
+describe the same products differently (marketing titles, model
+codes, missing attributes).  This example:
+
+1. generates the d2 (Abt-Buy counterpart) dataset;
+2. builds three similarity graphs of different families;
+3. sweeps the similarity threshold for every algorithm;
+4. prints the per-graph winner and the best overall configuration.
+
+Run:  python examples/product_matching.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import dataset_spec, generate_dataset
+from repro.evaluation import threshold_sweep
+from repro.evaluation.report import render_table
+from repro.matching import paper_matchers
+from repro.pipeline import compute_similarity_matrix, matrix_to_graph
+from repro.pipeline.similarity_functions import SimilarityFunctionSpec
+
+
+def build_graphs(dataset):
+    """Three representative similarity functions, one per family."""
+    specs = [
+        SimilarityFunctionSpec(
+            family="schema_based_syntactic",
+            details={"attribute": "name", "measure": "jaro"},
+            name="name/jaro",
+        ),
+        SimilarityFunctionSpec(
+            family="schema_agnostic_syntactic",
+            details={"model": "vector", "unit": "char", "n": 3,
+                     "measure": "cosine_tfidf"},
+            name="char3/cosine-tfidf",
+        ),
+        SimilarityFunctionSpec(
+            family="schema_agnostic_semantic",
+            details={"model": "fasttext_like", "measure": "cosine"},
+            name="fasttext-like/cosine",
+        ),
+    ]
+    graphs = {}
+    for spec in specs:
+        matrix = compute_similarity_matrix(dataset, spec)
+        graphs[spec.name] = matrix_to_graph(matrix, name=spec.name)
+    return graphs
+
+
+def main() -> None:
+    dataset = generate_dataset(dataset_spec("d2"), seed=42)
+    print(
+        f"Abt-Buy counterpart: {len(dataset.left)} x {len(dataset.right)} "
+        f"products, {dataset.n_duplicates} true matches "
+        f"(balanced collections)\n"
+    )
+    sample = dataset.left[0]
+    print(f"Example left record:  {sample.attributes}")
+    i, j = sorted(dataset.ground_truth)[0]
+    print(f"Its counterpart:      {dataset.right[j].attributes}\n")
+
+    graphs = build_graphs(dataset)
+    matchers = paper_matchers(bah_max_moves=2_000, bah_time_limit=2.0)
+
+    rows = []
+    best = ("", "", 0.0, 0.0)
+    for graph_name, graph in graphs.items():
+        for code, matcher in matchers.items():
+            sweep = threshold_sweep(matcher, graph, dataset.ground_truth)
+            scores = sweep.best_scores
+            rows.append(
+                [
+                    graph_name,
+                    code,
+                    f"{sweep.best_threshold:.2f}",
+                    f"{scores.precision:.3f}",
+                    f"{scores.recall:.3f}",
+                    f"{scores.f_measure:.3f}",
+                ]
+            )
+            if scores.f_measure > best[3]:
+                best = (graph_name, code, sweep.best_threshold,
+                        scores.f_measure)
+
+    print(
+        render_table(
+            ["graph", "alg", "t*", "P", "R", "F1"],
+            rows,
+            title="Threshold-swept effectiveness per graph and algorithm",
+        )
+    )
+    graph_name, code, threshold, f1 = best
+    print(
+        f"\nBest configuration: {code} on the {graph_name} graph "
+        f"at t = {threshold:.2f} (F1 = {f1:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

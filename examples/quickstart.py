@@ -1,0 +1,54 @@
+"""Quickstart: bipartite graph matching on the paper's Figure 1 graph.
+
+Builds the worked example graph of the paper, runs all eight matching
+algorithms at threshold 0.5 and prints the partitions each produces —
+replaying the walk-through of Section 3.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimilarityGraph, figure1_graph, paper_matchers
+from repro.graph.examples import FIGURE1_LEFT_LABELS, FIGURE1_RIGHT_LABELS
+
+
+def label(pair: tuple[int, int]) -> str:
+    i, j = pair
+    return f"{FIGURE1_LEFT_LABELS[i]}-{FIGURE1_RIGHT_LABELS[j]}"
+
+
+def main() -> None:
+    graph = figure1_graph()
+    print("Similarity graph of Figure 1(a):")
+    for i, j, weight in graph.edges():
+        print(
+            f"  {FIGURE1_LEFT_LABELS[i]} -- {FIGURE1_RIGHT_LABELS[j]}"
+            f"  (w = {weight})"
+        )
+
+    print("\nMatching with every algorithm at t = 0.5:")
+    matchers = paper_matchers(bah_max_moves=5_000, bah_time_limit=5.0)
+    for code, matcher in matchers.items():
+        result = matcher.match(graph, 0.5)
+        result.validate(graph)
+        pairs = ", ".join(label(p) for p in sorted(result.pairs)) or "(none)"
+        weight = result.total_weight(graph)
+        print(f"  {code}: {pairs}   total weight = {weight:.1f}")
+
+    print(
+        "\nNote how BAH finds the weight-optimal pairing A1-B1 + A5-B3 "
+        "(sum 1.2 > 0.9),\nwhile the greedy family locks the heavy "
+        "A5-B1 edge first (Figure 1(d))."
+    )
+
+    # The same API works on any graph you build yourself:
+    graph = SimilarityGraph.from_edges(
+        2, 2, [(0, 0, 0.92), (1, 1, 0.81), (0, 1, 0.30)]
+    )
+    result = matchers["UMC"].match(graph, threshold=0.5)
+    print(f"\nCustom 2x2 graph with UMC: {result.pairs}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e .`` code path (see the note in pyproject.toml).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Bipartite graph matching algorithms for Clean-Clean Entity "
+        "Resolution: a reproduction of the EDBT 2022 empirical evaluation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

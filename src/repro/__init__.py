@@ -1,0 +1,43 @@
+"""repro — Bipartite graph matching algorithms for Clean-Clean Entity Resolution.
+
+A full reproduction of the EDBT 2022 empirical evaluation by Papadakis,
+Efthymiou, Thanos and Hassanzadeh: the eight bipartite matching
+algorithms, the similarity-function taxonomy that builds their input
+graphs, the synthetic counterparts of the ten benchmark datasets, and
+the evaluation/statistics framework that regenerates every table and
+figure of the paper.
+
+Quickstart
+----------
+>>> from repro import SimilarityGraph, create_matcher
+>>> graph = SimilarityGraph.from_edges(2, 2, [(0, 0, 0.9), (1, 1, 0.8),
+...                                           (0, 1, 0.3)])
+>>> result = create_matcher("UMC").match(graph, threshold=0.5)
+>>> sorted(result.pairs)
+[(0, 0), (1, 1)]
+"""
+
+from repro.graph import SimilarityGraph, figure1_graph, min_max_normalize
+from repro.matching import (
+    ALGORITHM_CODES,
+    PAPER_ALGORITHM_CODES,
+    Matcher,
+    MatchingResult,
+    create_matcher,
+    paper_matchers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimilarityGraph",
+    "figure1_graph",
+    "min_max_normalize",
+    "Matcher",
+    "MatchingResult",
+    "create_matcher",
+    "paper_matchers",
+    "ALGORITHM_CODES",
+    "PAPER_ALGORITHM_CODES",
+    "__version__",
+]

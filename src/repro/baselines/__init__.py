@@ -1,0 +1,23 @@
+"""State-of-the-art matcher stand-ins for the Table 7 comparison.
+
+The paper compares tuned bipartite matching (UMC over schema-agnostic
+TF-IDF cosine graphs) against two recent matchers: ZeroER
+(unsupervised, generative) and DITTO (supervised, deep).  Neither is
+runnable offline, so this package provides stand-ins occupying the
+same two roles (see DESIGN.md substitutions):
+
+* :class:`ZeroERLikeMatcher` — ZeroER's core idea: model the pairwise
+  similarity distribution as a two-component generative mixture
+  (match / non-match), fit with EM, match pairs by posterior odds
+  under a 1-1 constraint.  Implemented from scratch on numpy.
+* :class:`LearnedMatcher` — the supervised discriminative role:
+  logistic regression over a vector of similarity features, trained
+  on a labelled subset of pairs (DITTO's training-data advantage),
+  implemented from scratch on numpy.
+"""
+
+from repro.baselines.gmm import GaussianMixture1D
+from repro.baselines.learned import LearnedMatcher
+from repro.baselines.zeroer_like import ZeroERLikeMatcher
+
+__all__ = ["GaussianMixture1D", "ZeroERLikeMatcher", "LearnedMatcher"]

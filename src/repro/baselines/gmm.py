@@ -1,0 +1,110 @@
+"""Two-component 1-D Gaussian mixture fitted with EM.
+
+The generative backbone of the ZeroER-like matcher: similarity scores
+of matching pairs concentrate high, non-matching ones low; EM recovers
+the two components without labels.  Implemented from scratch (no
+sklearn offline) with standard numerical guards: responsibilities in
+log-space are unnecessary in 1-D, but variances are floored to avoid
+the classic collapsing-component singularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianMixture1D"]
+
+_VARIANCE_FLOOR = 1e-6
+
+
+class GaussianMixture1D:
+    """EM-fitted mixture of two univariate Gaussians.
+
+    Parameters
+    ----------
+    max_iterations:
+        EM iteration budget.
+    tolerance:
+        Convergence threshold on the log-likelihood improvement.
+    seed:
+        Seed for the quantile-based initialisation jitter.
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 200,
+        tolerance: float = 1e-8,
+        seed: int = 42,
+    ) -> None:
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.seed = seed
+        self.means_ = np.zeros(2)
+        self.variances_ = np.ones(2)
+        self.weights_ = np.full(2, 0.5)
+        self.converged_ = False
+        self.log_likelihood_ = -np.inf
+
+    def fit(self, values: np.ndarray) -> "GaussianMixture1D":
+        """Fit the mixture to 1-D ``values``."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size < 2:
+            raise ValueError("need at least two observations")
+        # Initialise components at the lower/upper quartiles.
+        low, high = np.quantile(values, [0.25, 0.75])
+        if low == high:
+            jitter = np.random.default_rng(self.seed).normal(0, 1e-3, 2)
+            low, high = low + jitter[0], high + abs(jitter[1]) + 1e-3
+        self.means_ = np.array([low, high])
+        spread = max(values.std() ** 2, _VARIANCE_FLOOR)
+        self.variances_ = np.array([spread, spread])
+        self.weights_ = np.full(2, 0.5)
+
+        previous = -np.inf
+        for _ in range(self.max_iterations):
+            responsibilities, log_likelihood = self._e_step(values)
+            self._m_step(values, responsibilities)
+            if abs(log_likelihood - previous) < self.tolerance:
+                self.converged_ = True
+                break
+            previous = log_likelihood
+        self.log_likelihood_ = previous
+        return self
+
+    def _densities(self, values: np.ndarray) -> np.ndarray:
+        """Per-component scaled densities, shape ``(n, 2)``."""
+        diff = values[:, None] - self.means_[None, :]
+        variance = self.variances_[None, :]
+        return (
+            self.weights_[None, :]
+            / np.sqrt(2 * np.pi * variance)
+            * np.exp(-0.5 * diff * diff / variance)
+        )
+
+    def _e_step(self, values: np.ndarray) -> tuple[np.ndarray, float]:
+        densities = self._densities(values)
+        totals = densities.sum(axis=1)
+        totals = np.maximum(totals, 1e-300)
+        responsibilities = densities / totals[:, None]
+        return responsibilities, float(np.log(totals).sum())
+
+    def _m_step(
+        self, values: np.ndarray, responsibilities: np.ndarray
+    ) -> None:
+        mass = responsibilities.sum(axis=0)
+        mass = np.maximum(mass, 1e-12)
+        self.weights_ = mass / values.size
+        self.means_ = (responsibilities * values[:, None]).sum(axis=0) / mass
+        diff = values[:, None] - self.means_[None, :]
+        self.variances_ = np.maximum(
+            (responsibilities * diff * diff).sum(axis=0) / mass,
+            _VARIANCE_FLOOR,
+        )
+
+    def predict_proba(self, values: np.ndarray) -> np.ndarray:
+        """Posterior probability of the *high-mean* component."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        densities = self._densities(values)
+        totals = np.maximum(densities.sum(axis=1), 1e-300)
+        high = int(np.argmax(self.means_))
+        return densities[:, high] / totals

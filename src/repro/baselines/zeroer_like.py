@@ -1,0 +1,78 @@
+"""ZeroER-like unsupervised matcher.
+
+ZeroER (Wu et al., SIGMOD 2020) matches entities with *zero* labelled
+examples by fitting a two-component generative mixture over pairwise
+similarity features and classifying by posterior odds.  This stand-in
+keeps that core recipe on the bipartite similarity graph:
+
+1. fit :class:`~repro.baselines.gmm.GaussianMixture1D` to the edge
+   weights (matches concentrate high, non-matches low);
+2. score every edge with the posterior of the match component;
+3. enforce the CCER 1-1 constraint by greedy unique mapping on the
+   posterior (ZeroER itself adds a transitivity/uniqueness layer on
+   top of its probabilities).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.gmm import GaussianMixture1D
+from repro.graph.bipartite import SimilarityGraph
+from repro.matching.base import Matcher, MatchingResult
+
+__all__ = ["ZeroERLikeMatcher"]
+
+
+class ZeroERLikeMatcher(Matcher):
+    """Unsupervised generative matcher (ZeroER stand-in).
+
+    Parameters
+    ----------
+    posterior_threshold:
+        Minimum posterior probability of the match component for an
+        edge to be considered (ZeroER uses 0.5).
+    """
+
+    code = "ZER"
+    full_name = "ZeroER-like (GMM-EM posterior matching)"
+
+    def __init__(self, posterior_threshold: float = 0.5, seed: int = 42) -> None:
+        if not 0.0 <= posterior_threshold <= 1.0:
+            raise ValueError("posterior_threshold must be in [0, 1]")
+        self.posterior_threshold = posterior_threshold
+        self.seed = seed
+
+    def match(
+        self, graph: SimilarityGraph, threshold: float = 0.0
+    ) -> MatchingResult:
+        """Match by posterior odds; ``threshold`` additionally prunes
+        edges by raw weight first (0 disables, making the matcher fully
+        unsupervised end-to-end)."""
+        mask = graph.weight > threshold
+        left = graph.left[mask]
+        right = graph.right[mask]
+        weight = graph.weight[mask]
+        if weight.size < 2:
+            return self._result([], threshold)
+
+        mixture = GaussianMixture1D(seed=self.seed).fit(weight)
+        posterior = mixture.predict_proba(weight)
+        candidates = posterior >= self.posterior_threshold
+
+        order = np.argsort(-posterior[candidates], kind="stable")
+        cand_left = left[candidates][order]
+        cand_right = right[candidates][order]
+
+        matched_left: set[int] = set()
+        matched_right: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for i, j in zip(cand_left, cand_right):
+            i, j = int(i), int(j)
+            if i in matched_left or j in matched_right:
+                continue
+            matched_left.add(i)
+            matched_right.add(j)
+            pairs.append((i, j))
+        pairs.sort()
+        return self._result(pairs, threshold)

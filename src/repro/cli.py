@@ -1,0 +1,255 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main entry points:
+
+``repro match``
+    Run one algorithm on an edge-list CSV (``left,right,weight``) and
+    print the matched pairs.
+``repro generate``
+    Generate a synthetic dataset profile and write its two collections
+    plus the ground truth as CSV files.
+``repro sweep``
+    Threshold-sweep one or all algorithms on an edge-list CSV with a
+    ground-truth CSV and print the effectiveness table.
+``repro experiments``
+    Run the cached full protocol and print the headline tables
+    (Table 4 and the Figure 2 Nemenyi diagram).
+
+Install exposes the ``repro`` console script; the module also runs as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+from repro.evaluation.report import render_table
+from repro.graph.bipartite import SimilarityGraph
+from repro.matching.registry import (
+    ALGORITHM_CODES,
+    PAPER_ALGORITHM_CODES,
+    create_matcher,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Bipartite graph matching algorithms for Clean-Clean "
+            "Entity Resolution (EDBT 2022 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    match = commands.add_parser(
+        "match", help="run one algorithm on an edge-list CSV"
+    )
+    match.add_argument("graph", type=Path, help="CSV: left,right,weight")
+    match.add_argument(
+        "--algorithm", "-a", default="UMC",
+        choices=sorted(ALGORITHM_CODES),
+    )
+    match.add_argument("--threshold", "-t", type=float, default=0.5)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic dataset profile"
+    )
+    generate.add_argument("dataset", help="profile code (d1 .. d10)")
+    generate.add_argument("--scale", type=float, default=None)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", type=Path, default=Path("."))
+
+    sweep = commands.add_parser(
+        "sweep", help="threshold-sweep algorithms on a graph + truth"
+    )
+    sweep.add_argument("graph", type=Path, help="CSV: left,right,weight")
+    sweep.add_argument("truth", type=Path, help="CSV: left,right")
+    sweep.add_argument(
+        "--algorithm", "-a", default="all",
+        help="algorithm code or 'all' (paper's eight)",
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="run the cached full protocol"
+    )
+    experiments.add_argument(
+        "--profile", choices=("default", "smoke"), default="smoke"
+    )
+    experiments.add_argument("--cache", type=Path, default=None)
+    return parser
+
+
+def _read_graph(path: Path) -> SimilarityGraph:
+    edges = []
+    n_left = 0
+    n_right = 0
+    with path.open() as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#") or row[0] == "left":
+                continue
+            left, right, weight = int(row[0]), int(row[1]), float(row[2])
+            edges.append((left, right, weight))
+            n_left = max(n_left, left + 1)
+            n_right = max(n_right, right + 1)
+    return SimilarityGraph.from_edges(n_left, n_right, edges, name=str(path))
+
+
+def _read_truth(path: Path) -> set[tuple[int, int]]:
+    truth = set()
+    with path.open() as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#") or row[0] == "left":
+                continue
+            truth.add((int(row[0]), int(row[1])))
+    return truth
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    graph = _read_graph(args.graph)
+    matcher = create_matcher(args.algorithm)
+    result = matcher.match(graph, args.threshold)
+    print(f"# {args.algorithm} t={args.threshold} pairs={len(result)}")
+    for i, j in result.pairs:
+        print(f"{i},{j}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_spec, generate_dataset
+
+    dataset = generate_dataset(
+        dataset_spec(args.dataset, scale=args.scale), seed=args.seed
+    )
+    args.out.mkdir(parents=True, exist_ok=True)
+    for side, collection in (("left", dataset.left), ("right", dataset.right)):
+        attributes = collection.attribute_names()
+        path = args.out / f"{args.dataset}_{side}.csv"
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["id", *attributes])
+            for profile in collection:
+                writer.writerow(
+                    [profile.identifier]
+                    + [profile.value(a) for a in attributes]
+                )
+    truth_path = args.out / f"{args.dataset}_truth.csv"
+    with truth_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left", "right"])
+        for i, j in sorted(dataset.ground_truth):
+            writer.writerow([i, j])
+    print(
+        f"wrote {args.dataset}: {len(dataset.left)} x "
+        f"{len(dataset.right)} profiles, {dataset.n_duplicates} matches "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.evaluation.sweep import threshold_sweep
+
+    graph = _read_graph(args.graph)
+    truth = _read_truth(args.truth)
+    if args.algorithm == "all":
+        codes = PAPER_ALGORITHM_CODES
+    else:
+        codes = (args.algorithm.upper(),)
+    rows = []
+    for code in codes:
+        matcher = (
+            create_matcher(code, max_moves=2_000, time_limit=2.0)
+            if code == "BAH"
+            else create_matcher(code)
+        )
+        sweep = threshold_sweep(matcher, graph, truth)
+        best = sweep.best_scores
+        rows.append(
+            [
+                code,
+                f"{sweep.best_threshold:.2f}",
+                f"{best.precision:.3f}",
+                f"{best.recall:.3f}",
+                f"{best.f_measure:.3f}",
+                f"{1000 * sweep.best_seconds:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["alg", "t*", "P", "R", "F1", "ms"],
+            rows,
+            title=f"Threshold sweep on {args.graph} (|truth|={len(truth)})",
+        )
+    )
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import format_float
+    from repro.evaluation.stats import nemenyi_diagram
+    from repro.experiments import (
+        DEFAULT_BENCH_CONFIG,
+        SMOKE_CONFIG,
+        run_experiments,
+    )
+    from repro.experiments.effectiveness import (
+        macro_effectiveness,
+        score_matrix,
+    )
+
+    config = (
+        DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
+    )
+    results = run_experiments(config, cache_dir=args.cache)
+    rows = [
+        [
+            row.algorithm,
+            format_float(row.precision_mu),
+            format_float(row.recall_mu),
+            format_float(row.f1_mu),
+            format_float(row.f1_sigma),
+        ]
+        for row in macro_effectiveness(results)
+    ]
+    print(
+        render_table(
+            ["alg", "P", "R", "F1", "F1 sigma"],
+            rows,
+            title=(
+                f"Table 4 over {len(results)} graphs "
+                f"({args.profile} profile)"
+            ),
+        )
+    )
+    print()
+    print(
+        nemenyi_diagram(
+            list(PAPER_ALGORITHM_CODES),
+            score_matrix(results, "f_measure"),
+        )
+    )
+    return 0
+
+
+_COMMANDS = {
+    "match": _command_match,
+    "generate": _command_generate,
+    "sweep": _command_sweep,
+    "experiments": _command_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Entity profiles and collections.
+
+An *entity profile* is a set of attribute name/value pairs describing
+one real-world object (Section 2 of the paper); an *entity collection*
+is a duplicate-free list of profiles.  The representation models
+consume either a single attribute (schema-based scope) or all values
+concatenated (schema-agnostic scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["EntityProfile", "EntityCollection"]
+
+
+@dataclass
+class EntityProfile:
+    """One entity as attribute name/value pairs.
+
+    ``attributes`` omits missing values entirely (a missing value is
+    not an empty string in the source data model).
+    """
+
+    identifier: str
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def value(self, attribute: str) -> str:
+        """The value of ``attribute``, or ``""`` when missing."""
+        return self.attributes.get(attribute, "")
+
+    def values(self) -> list[str]:
+        """All attribute values, in attribute insertion order."""
+        return [v for v in self.attributes.values() if v]
+
+    def schema_agnostic_text(self) -> str:
+        """All values joined — the schema-agnostic representation."""
+        return " ".join(self.values())
+
+    @property
+    def n_name_value_pairs(self) -> int:
+        """Number of non-empty name/value pairs (|NVP| in Table 2)."""
+        return len(self.values())
+
+
+@dataclass
+class EntityCollection:
+    """A duplicate-free collection of entity profiles."""
+
+    name: str
+    profiles: list[EntityProfile] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self):
+        return iter(self.profiles)
+
+    def __getitem__(self, index: int) -> EntityProfile:
+        return self.profiles[index]
+
+    def attribute_values(self, attribute: str) -> list[str]:
+        """Per-profile values of ``attribute`` (``""`` when missing)."""
+        return [profile.value(attribute) for profile in self.profiles]
+
+    def texts(self) -> list[str]:
+        """Per-profile schema-agnostic texts."""
+        return [profile.schema_agnostic_text() for profile in self.profiles]
+
+    def value_lists(self) -> list[list[str]]:
+        """Per-profile lists of values (for the n-gram graph models)."""
+        return [profile.values() for profile in self.profiles]
+
+    def attribute_names(self) -> list[str]:
+        """All attribute names appearing in the collection, sorted."""
+        names: set[str] = set()
+        for profile in self.profiles:
+            names.update(profile.attributes)
+        return sorted(names)
+
+    def attribute_coverage(self, attribute: str) -> float:
+        """Fraction of profiles with a non-empty value for ``attribute``."""
+        if not self.profiles:
+            return 0.0
+        covered = sum(1 for p in self.profiles if p.value(attribute))
+        return covered / len(self.profiles)
+
+    @property
+    def n_name_value_pairs(self) -> int:
+        """Total non-empty name/value pairs (|NVP| in Table 2)."""
+        return sum(p.n_name_value_pairs for p in self.profiles)
+
+    @property
+    def mean_pairs_per_profile(self) -> float:
+        """Average name/value pairs per profile (|p̄| in Table 2)."""
+        if not self.profiles:
+            return 0.0
+        return self.n_name_value_pairs / len(self.profiles)

@@ -1,0 +1,228 @@
+"""Deterministic domain vocabularies for the synthetic datasets.
+
+Each domain generator produces the *truth record* of a world entity —
+the clean attribute values both sources derive their (noisy) records
+from.  Word banks are intentionally sized like the real domains: the
+bibliographic vocabulary is small and repetitive (the paper notes
+D4/D9 "convey a limited vocabulary"), product names mix brands with
+arbitrary alphanumeric model codes (the fastText motivation), movie
+and restaurant names draw on broader banks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DOMAINS", "generate_truth"]
+
+_FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+    "yuki", "carlos", "fatima", "ivan", "chen", "amara", "luca", "nadia",
+    "omar",
+]
+
+_LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "zhang", "kumar", "okafor", "petrov",
+    "tanaka", "rossi", "novak", "kim", "ali", "costa",
+]
+
+_CUISINES = [
+    "italian", "french", "thai", "mexican", "japanese", "indian", "greek",
+    "spanish", "korean", "vietnamese", "lebanese", "ethiopian", "peruvian",
+    "turkish", "moroccan", "american", "cajun", "fusion",
+]
+
+_RESTAURANT_WORDS = [
+    "golden", "dragon", "palace", "bistro", "garden", "corner", "house",
+    "grill", "kitchen", "tavern", "cafe", "trattoria", "osteria", "brasserie",
+    "cantina", "diner", "lounge", "terrace", "harbor", "vineyard", "olive",
+    "maple", "cedar", "willow", "saffron", "ginger", "basil", "truffle",
+    "ember", "stone", "river", "sunset", "royal", "blue", "little", "grand",
+]
+
+_STREETS = [
+    "main st", "oak ave", "maple dr", "broadway", "elm st", "5th ave",
+    "park rd", "lake view", "hill crest", "market sq", "union blvd",
+    "river walk", "sunset strip", "harbor way", "canal st", "castle rd",
+]
+
+_CITIES = [
+    "new york", "los angeles", "chicago", "houston", "phoenix", "boston",
+    "seattle", "denver", "austin", "portland", "atlanta", "miami",
+]
+
+_BRANDS = [
+    "sony", "samsung", "panasonic", "philips", "canon", "nikon", "bosch",
+    "makita", "dewalt", "logitech", "kensington", "belkin", "netgear",
+    "linksys", "garmin", "casio", "epson", "brother", "lexmark", "sandisk",
+    "kingston", "corsair", "asus", "acer", "lenovo", "toshiba", "jvc",
+    "pioneer", "kenwood", "yamaha",
+]
+
+_PRODUCT_NOUNS = [
+    "speaker", "headphones", "camera", "lens", "printer", "scanner",
+    "router", "keyboard", "mouse", "monitor", "projector", "charger",
+    "adapter", "cable", "drive", "card", "case", "stand", "mount", "dock",
+    "battery", "drill", "sander", "blender", "toaster", "kettle", "vacuum",
+]
+
+_PRODUCT_ADJECTIVES = [
+    "wireless", "portable", "compact", "digital", "professional", "premium",
+    "ultra", "mini", "smart", "rechargeable", "bluetooth", "noise",
+    "cancelling", "waterproof", "ergonomic", "adjustable", "universal",
+    "high", "speed", "dual", "band",
+]
+
+_CATEGORIES = [
+    "electronics", "audio", "photography", "computing", "networking",
+    "appliances", "tools", "accessories", "storage", "office",
+]
+
+# Deliberately small: bibliographic titles recombine few terms, like
+# real CS publication corpora.
+_BIB_TERMS = [
+    "efficient", "scalable", "adaptive", "distributed", "parallel",
+    "incremental", "approximate", "optimal", "robust", "learning",
+    "query", "processing", "indexing", "clustering", "matching",
+    "resolution", "integration", "databases", "streams", "graphs",
+    "entity", "schema", "records", "blocking", "filtering", "joins",
+    "similarity", "semantic", "knowledge", "evaluation",
+]
+
+_VENUES = [
+    "vldb", "sigmod", "icde", "edbt", "cikm", "kdd", "www", "tkde",
+    "vldbj", "icdm",
+]
+
+_ABSTRACT_FILLER = [
+    "we", "propose", "a", "novel", "approach", "for", "the", "problem",
+    "of", "our", "method", "outperforms", "state", "art", "experiments",
+    "on", "real", "data", "show", "significant", "improvements", "in",
+    "both", "accuracy", "and", "efficiency", "this", "paper", "presents",
+    "extensive", "analysis",
+]
+
+_MOVIE_WORDS = [
+    "shadow", "night", "return", "last", "first", "dark", "light", "king",
+    "queen", "legend", "secret", "lost", "city", "dream", "storm", "fire",
+    "ice", "blood", "moon", "star", "edge", "silent", "broken", "golden",
+    "hidden", "final", "eternal", "crimson", "winter", "summer", "ghost",
+    "iron", "stolen", "forgotten", "rising", "falling", "endless", "savage",
+    "glass", "paper",
+]
+
+_GENRES = [
+    "drama", "comedy", "thriller", "horror", "romance", "action",
+    "documentary", "animation", "crime", "fantasy", "western", "mystery",
+]
+
+
+def _pick(rng: np.random.Generator, bank: list[str]) -> str:
+    return bank[int(rng.integers(len(bank)))]
+
+
+def _pick_many(
+    rng: np.random.Generator, bank: list[str], low: int, high: int
+) -> list[str]:
+    count = int(rng.integers(low, high + 1))
+    indices = rng.choice(len(bank), size=min(count, len(bank)), replace=False)
+    return [bank[int(i)] for i in indices]
+
+
+def _person(rng: np.random.Generator) -> str:
+    return f"{_pick(rng, _FIRST_NAMES)} {_pick(rng, _LAST_NAMES)}"
+
+
+def _phone(rng: np.random.Generator) -> str:
+    area = rng.integers(200, 990)
+    mid = rng.integers(100, 999)
+    tail = rng.integers(1000, 9999)
+    return f"{area}-{mid}-{tail}"
+
+
+def _restaurant(rng: np.random.Generator) -> dict[str, str]:
+    name_words = _pick_many(rng, _RESTAURANT_WORDS, 2, 3)
+    return {
+        "name": " ".join(name_words),
+        "phone": _phone(rng),
+        "address": f"{rng.integers(1, 999)} {_pick(rng, _STREETS)}",
+        "cuisine": _pick(rng, _CUISINES),
+        "city": _pick(rng, _CITIES),
+    }
+
+
+def _model_code(rng: np.random.Generator) -> str:
+    letters = "".join(
+        chr(ord("a") + int(c)) for c in rng.integers(0, 26, size=2)
+    )
+    return f"{letters}{rng.integers(10, 9999)}"
+
+
+def _product(rng: np.random.Generator) -> dict[str, str]:
+    brand = _pick(rng, _BRANDS)
+    model = _model_code(rng)
+    adjectives = _pick_many(rng, _PRODUCT_ADJECTIVES, 1, 3)
+    noun = _pick(rng, _PRODUCT_NOUNS)
+    title = f"{brand} {model} {' '.join(adjectives)} {noun}"
+    return {
+        "title": title,
+        "name": f"{brand} {noun} {model}",
+        "modelno": model,
+        "brand": brand,
+        "price": f"{rng.integers(5, 1500)}.{rng.integers(0, 99):02d}",
+        "category": _pick(rng, _CATEGORIES),
+    }
+
+
+def _publication(rng: np.random.Generator) -> dict[str, str]:
+    title_words = _pick_many(rng, _BIB_TERMS, 4, 8)
+    n_authors = int(rng.integers(1, 4))
+    authors = ", ".join(_person(rng) for _ in range(n_authors))
+    abstract_words = [
+        _pick(rng, _ABSTRACT_FILLER) for _ in range(int(rng.integers(15, 30)))
+    ]
+    return {
+        "title": " ".join(title_words),
+        "authors": authors,
+        "venue": _pick(rng, _VENUES),
+        "year": str(rng.integers(1995, 2021)),
+        "abstract": " ".join(abstract_words),
+    }
+
+
+def _movie(rng: np.random.Generator) -> dict[str, str]:
+    title_words = _pick_many(rng, _MOVIE_WORDS, 1, 4)
+    title = " ".join(title_words)
+    return {
+        "title": title,
+        "name": title,  # alternative-title attribute, as in TMDb/TVDB
+        "year": str(rng.integers(1950, 2021)),
+        "director": _person(rng),
+        "genre": _pick(rng, _GENRES),
+        "actors": ", ".join(_person(rng) for _ in range(int(rng.integers(1, 4)))),
+    }
+
+
+#: Domain name -> truth-record generator.
+DOMAINS = {
+    "restaurant": _restaurant,
+    "product": _product,
+    "bibliographic": _publication,
+    "movie": _movie,
+}
+
+
+def generate_truth(domain: str, rng: np.random.Generator) -> dict[str, str]:
+    """Generate the clean truth record of one world entity."""
+    try:
+        generator = DOMAINS[domain]
+    except KeyError:
+        known = ", ".join(sorted(DOMAINS))
+        raise KeyError(f"unknown domain {domain!r}; known: {known}")
+    return generator(rng)

@@ -1,0 +1,90 @@
+"""fastText-style subword embeddings (offline substitute).
+
+fastText vectorizes a token by summing the embeddings of all its
+character n-grams, which lets it embed out-of-vocabulary tokens — the
+very reason the paper chose it over word2vec/GloVe.  This model keeps
+that composition rule but draws the n-gram embeddings from the
+deterministic hash space of :mod:`repro.embeddings.hashing` instead of
+pre-trained weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.hashing import hash_vector
+from repro.textsim.tokenize import tokens
+
+__all__ = ["FastTextLikeModel"]
+
+
+class FastTextLikeModel:
+    """Character n-gram composition embeddings.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality (the paper's fastText uses 300; the
+        default 64 preserves behaviour at a fraction of the cost).
+    min_n, max_n:
+        Range of character n-gram lengths composed into a token vector
+        (fastText's defaults are 3..6; token boundaries are marked with
+        ``<`` and ``>`` as in the original).
+    """
+
+    name = "fasttext_like"
+
+    def __init__(self, dim: int = 64, min_n: int = 3, max_n: int = 5) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if not (0 < min_n <= max_n):
+            raise ValueError("need 0 < min_n <= max_n")
+        self.dim = dim
+        self.min_n = min_n
+        self.max_n = max_n
+        self._token_cache: dict[str, np.ndarray] = {}
+
+    def _subwords(self, token: str) -> list[str]:
+        marked = f"<{token}>"
+        grams: list[str] = []
+        for n in range(self.min_n, self.max_n + 1):
+            if len(marked) < n:
+                continue
+            grams.extend(
+                marked[i : i + n] for i in range(len(marked) - n + 1)
+            )
+        if not grams:
+            grams = [marked]
+        return grams
+
+    def embed_token(self, token: str) -> np.ndarray:
+        """Unit vector of one token: normalized sum of subword vectors."""
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        total = np.zeros(self.dim)
+        for gram in self._subwords(token):
+            total += hash_vector(gram, self.dim)
+        norm = np.linalg.norm(total)
+        if norm > 0:
+            total = total / norm
+        self._token_cache[token] = total
+        return total
+
+    def embed_tokens(self, text: str) -> np.ndarray:
+        """Matrix of token vectors, one row per token of ``text``."""
+        words = tokens(text)
+        if not words:
+            return np.zeros((0, self.dim))
+        return np.vstack([self.embed_token(word) for word in words])
+
+    def embed_text(self, text: str) -> np.ndarray:
+        """Mean of the token vectors (zero vector for empty text)."""
+        matrix = self.embed_tokens(text)
+        if matrix.shape[0] == 0:
+            return np.zeros(self.dim)
+        return matrix.mean(axis=0)
+
+    def embed_texts(self, texts: list[str]) -> np.ndarray:
+        """Stacked text embeddings, one row per input text."""
+        return np.vstack([self.embed_text(text) for text in texts])

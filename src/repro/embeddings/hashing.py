@@ -1,0 +1,44 @@
+"""Deterministic hash embeddings.
+
+Every string maps to a fixed unit vector derived from a cryptographic
+hash of its content: the hash seeds a PRNG that draws the vector from
+an isotropic Gaussian.  Distinct strings therefore get near-orthogonal
+vectors (in high dimension), identical strings always get the same
+vector — exactly the property subword hashing relies on in fastText's
+own implementation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["hash_vector", "clear_cache"]
+
+_CACHE: dict[tuple[str, int], np.ndarray] = {}
+_CACHE_LIMIT = 200_000
+
+
+def hash_vector(text: str, dim: int) -> np.ndarray:
+    """Deterministic unit vector of dimension ``dim`` for ``text``."""
+    key = (text, dim)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    seed = int.from_bytes(digest, "little")
+    rng = np.random.default_rng(seed)
+    vector = rng.standard_normal(dim)
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector /= norm
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[key] = vector
+    return vector
+
+
+def clear_cache() -> None:
+    """Drop all memoized vectors (useful in memory-sensitive tests)."""
+    _CACHE.clear()

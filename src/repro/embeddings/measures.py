@@ -1,0 +1,69 @@
+"""All-pairs semantic similarity measures (Section 4, semantic models).
+
+Three measures, as in the paper's appendix:
+
+* Cosine similarity of the pooled text embeddings, rescaled from
+  ``[-1, 1]`` to ``[0, 1]`` (the min-max normalization the paper
+  applies to every graph makes the affine rescaling inconsequential
+  for the algorithms, but keeps intermediate weights in range);
+* Euclidean similarity ``1 / (1 + euclidean_distance)``;
+* Word Mover's similarity ``1 / (1 + RWMD)`` over token embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embeddings.wmd import relaxed_word_mover_distance
+
+__all__ = [
+    "cosine_similarity_matrix",
+    "euclidean_similarity_matrix",
+    "word_mover_similarity_matrix",
+]
+
+
+def cosine_similarity_matrix(
+    left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """Pairwise cosine of embedding rows, mapped to ``[0, 1]``."""
+    norms_left = np.linalg.norm(left, axis=1)
+    norms_right = np.linalg.norm(right, axis=1)
+    safe_left = np.where(norms_left > 0, norms_left, 1.0)
+    safe_right = np.where(norms_right > 0, norms_right, 1.0)
+    cosine = (left / safe_left[:, None]) @ (right / safe_right[:, None]).T
+    cosine = np.clip(cosine, -1.0, 1.0)
+    return (cosine + 1.0) / 2.0
+
+
+def euclidean_similarity_matrix(
+    left: np.ndarray, right: np.ndarray
+) -> np.ndarray:
+    """``1 / (1 + ||x - y||)`` for every embedding pair."""
+    sq_left = np.sum(left * left, axis=1)
+    sq_right = np.sum(right * right, axis=1)
+    squared = sq_left[:, None] + sq_right[None, :] - 2.0 * (left @ right.T)
+    distance = np.sqrt(np.maximum(squared, 0.0))
+    return 1.0 / (1.0 + distance)
+
+
+def word_mover_similarity_matrix(
+    token_matrices_left: list[np.ndarray],
+    token_matrices_right: list[np.ndarray],
+) -> np.ndarray:
+    """``1 / (1 + RWMD)`` for every pair of token-embedding matrices.
+
+    Pairs where exactly one side has no tokens get similarity ``0``
+    (infinite transport cost).
+    """
+    n_left = len(token_matrices_left)
+    n_right = len(token_matrices_right)
+    result = np.zeros((n_left, n_right))
+    for i, tokens_a in enumerate(token_matrices_left):
+        for j, tokens_b in enumerate(token_matrices_right):
+            distance = relaxed_word_mover_distance(tokens_a, tokens_b)
+            if np.isinf(distance):
+                result[i, j] = 0.0
+            else:
+                result[i, j] = 1.0 / (1.0 + distance)
+    return result

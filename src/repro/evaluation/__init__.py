@@ -1,0 +1,43 @@
+"""Evaluation framework (Sections 5-6 of the paper).
+
+* :mod:`repro.evaluation.metrics` — precision / recall / F-measure of
+  a matching against the ground truth;
+* :mod:`repro.evaluation.sweep` — the similarity-threshold sweep
+  (0.05 .. 1.00, step 0.05) with the paper's optimal-threshold rule
+  ("the largest threshold that achieves the highest F-Measure");
+* :mod:`repro.evaluation.filtering` — the noise filters applied to the
+  graph corpus (low-signal graphs, duplicate inputs);
+* :mod:`repro.evaluation.stats` — Friedman test, Nemenyi post-hoc
+  critical distance, mean ranks and Pearson correlations;
+* :mod:`repro.evaluation.report` — fixed-width table rendering used by
+  the benchmark harnesses.
+"""
+
+from repro.evaluation.metrics import EffectivenessScores, evaluate_pairs
+from repro.evaluation.stats import (
+    critical_difference,
+    friedman_test,
+    mean_ranks,
+    nemenyi_diagram,
+    pearson_correlation,
+)
+from repro.evaluation.sweep import (
+    DEFAULT_THRESHOLD_GRID,
+    SweepResult,
+    optimal_threshold,
+    threshold_sweep,
+)
+
+__all__ = [
+    "EffectivenessScores",
+    "evaluate_pairs",
+    "DEFAULT_THRESHOLD_GRID",
+    "SweepResult",
+    "threshold_sweep",
+    "optimal_threshold",
+    "friedman_test",
+    "mean_ranks",
+    "critical_difference",
+    "nemenyi_diagram",
+    "pearson_correlation",
+]

@@ -1,0 +1,96 @@
+"""Corpus noise filters (Section 5, Generation Process).
+
+The paper cleans the experimental inputs in three steps:
+
+1. remove graphs where all matching entities have zero edge weight
+   (done at generation time in the workbench);
+2. remove *noisy* graphs where every algorithm stays below F1 = 0.25;
+3. remove *duplicate* inputs: graphs from the same dataset with the
+   same number of edges where at least two algorithms achieve their
+   best performance at the same threshold with near-identical
+   effectiveness (difference below 0.2%).
+
+Filters 2 and 3 need the sweep results, so they operate on the
+(graph, per-algorithm sweep) pairs produced by the experiment runner.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.evaluation.sweep import SweepResult
+
+__all__ = ["is_noisy_graph", "find_duplicate_inputs", "F1_NOISE_FLOOR"]
+
+#: The paper's noise floor: graphs where no algorithm reaches this F1.
+F1_NOISE_FLOOR = 0.25
+
+#: The paper's near-identity tolerance for duplicate detection (0.2%).
+DUPLICATE_TOLERANCE = 0.002
+
+
+def is_noisy_graph(
+    sweeps: Mapping[str, SweepResult], floor: float = F1_NOISE_FLOOR
+) -> bool:
+    """True when every algorithm's best F1 is below ``floor``."""
+    if not sweeps:
+        return True
+    return all(
+        sweep.best_scores.f_measure < floor for sweep in sweeps.values()
+    )
+
+
+def _near(a: float, b: float, tolerance: float) -> bool:
+    return abs(a - b) < tolerance
+
+
+def _graphs_equivalent(
+    sweeps_a: Mapping[str, SweepResult],
+    sweeps_b: Mapping[str, SweepResult],
+    tolerance: float,
+) -> bool:
+    """At least two algorithms agree on threshold and effectiveness."""
+    agreeing = 0
+    for code in sweeps_a.keys() & sweeps_b.keys():
+        best_a = sweeps_a[code].best
+        best_b = sweeps_b[code].best
+        if best_a.threshold != best_b.threshold:
+            continue
+        same_f1 = _near(
+            best_a.scores.f_measure, best_b.scores.f_measure, tolerance
+        )
+        same_p_or_r = _near(
+            best_a.scores.precision, best_b.scores.precision, tolerance
+        ) or _near(best_a.scores.recall, best_b.scores.recall, tolerance)
+        if same_f1 and same_p_or_r:
+            agreeing += 1
+            if agreeing >= 2:
+                return True
+    return False
+
+
+def find_duplicate_inputs(
+    entries: list[tuple[str, int, Mapping[str, SweepResult]]],
+    tolerance: float = DUPLICATE_TOLERANCE,
+) -> set[int]:
+    """Indices of entries that duplicate an earlier one.
+
+    ``entries`` are ``(dataset_code, n_edges, sweeps)`` triples in
+    corpus order; a graph is a duplicate when an earlier graph of the
+    same dataset has the same edge count and near-identical best
+    performance for at least two algorithms.
+    """
+    duplicates: set[int] = set()
+    for i in range(len(entries)):
+        if i in duplicates:
+            continue
+        dataset_i, edges_i, sweeps_i = entries[i]
+        for j in range(i + 1, len(entries)):
+            if j in duplicates:
+                continue
+            dataset_j, edges_j, sweeps_j = entries[j]
+            if dataset_i != dataset_j or edges_i != edges_j:
+                continue
+            if _graphs_equivalent(sweeps_i, sweeps_j, tolerance):
+                duplicates.add(j)
+    return duplicates

@@ -1,0 +1,57 @@
+"""Effectiveness measures for CCER (Section 5, Evaluation Measures).
+
+* *Precision* — the portion of output partitions that involve two
+  matching entities;
+* *Recall* — the portion of matching pairs that appear in the output;
+* *F-Measure* — their harmonic mean.
+
+All are defined on the 2-node partitions only; singletons carry no
+weight in either direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["EffectivenessScores", "evaluate_pairs"]
+
+
+@dataclass(frozen=True)
+class EffectivenessScores:
+    """Precision / recall / F-measure plus the underlying counts."""
+
+    precision: float
+    recall: float
+    f_measure: float
+    true_positives: int
+    output_pairs: int
+    ground_truth_pairs: int
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.precision, self.recall, self.f_measure)
+
+
+def evaluate_pairs(
+    pairs: Iterable[tuple[int, int]],
+    ground_truth: set[tuple[int, int]],
+) -> EffectivenessScores:
+    """Score a set of matched pairs against the ground truth."""
+    output = set(pairs)
+    true_positives = len(output & ground_truth)
+    n_output = len(output)
+    n_truth = len(ground_truth)
+    precision = true_positives / n_output if n_output else 0.0
+    recall = true_positives / n_truth if n_truth else 0.0
+    if precision + recall > 0:
+        f_measure = 2 * precision * recall / (precision + recall)
+    else:
+        f_measure = 0.0
+    return EffectivenessScores(
+        precision=precision,
+        recall=recall,
+        f_measure=f_measure,
+        true_positives=true_positives,
+        output_pairs=n_output,
+        ground_truth_pairs=n_truth,
+    )

@@ -1,0 +1,54 @@
+"""Fixed-width table rendering for the benchmark harnesses.
+
+The benches print the same rows/series as the paper's tables; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_float", "format_mu_sigma"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Compact float formatting (``0.518`` style, as in the paper)."""
+    return f"{value:.{digits}f}"
+
+
+def format_mu_sigma(mu: float, sigma: float, digits: int = 3) -> str:
+    """``mu ± sigma`` cell, as in Tables 4 and 8."""
+    return f"{mu:.{digits}f}±{sigma:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+        cells.append([str(value) for value in row])
+    widths = [
+        max(len(cells[r][c]) for r in range(len(cells)))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        cells[0][c].ljust(widths[c]) for c in range(columns)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * widths[c] for c in range(columns)))
+    for row_cells in cells[1:]:
+        lines.append(
+            " | ".join(row_cells[c].ljust(widths[c]) for c in range(columns))
+        )
+    return "\n".join(lines)

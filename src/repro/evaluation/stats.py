@@ -1,0 +1,140 @@
+"""Statistical analysis: Friedman test, Nemenyi post-hoc, correlations.
+
+The paper assesses significance with the non-parametric Friedman test
+over the paired per-graph F-measures, followed by a post-hoc Nemenyi
+test whose critical distance with k=8 algorithms over N=739 graphs is
+0.37 (Figure 2).  This module reproduces both plus the ASCII rendering
+of the Nemenyi diagrams (Figures 2, 7, 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = [
+    "FriedmanResult",
+    "friedman_test",
+    "mean_ranks",
+    "critical_difference",
+    "nemenyi_diagram",
+    "pearson_correlation",
+]
+
+# Two-tailed Nemenyi critical values q_alpha(k) at alpha = 0.05
+# (studentized range statistic divided by sqrt(2); Demsar 2006, Table 5).
+_Q_ALPHA_005 = {
+    2: 1.960,
+    3: 2.343,
+    4: 2.569,
+    5: 2.728,
+    6: 2.850,
+    7: 2.949,
+    8: 3.031,
+    9: 3.102,
+    10: 3.164,
+}
+
+
+@dataclass(frozen=True)
+class FriedmanResult:
+    """Friedman test outcome over a (graphs x algorithms) score table."""
+
+    statistic: float
+    p_value: float
+    rejected: bool  # null hypothesis rejected at the given alpha
+    alpha: float
+
+
+def friedman_test(scores: np.ndarray, alpha: float = 0.05) -> FriedmanResult:
+    """Friedman test on an ``N x k`` score matrix (rows = graphs).
+
+    Rejecting the null hypothesis means the algorithms' score
+    distributions differ significantly.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2 or scores.shape[1] < 3:
+        raise ValueError("need an N x k matrix with k >= 3")
+    statistic, p_value = scipy_stats.friedmanchisquare(
+        *[scores[:, j] for j in range(scores.shape[1])]
+    )
+    return FriedmanResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        rejected=bool(p_value < alpha),
+        alpha=alpha,
+    )
+
+
+def mean_ranks(scores: np.ndarray) -> np.ndarray:
+    """Mean rank per algorithm (rank 1 = best; ties share ranks).
+
+    ``scores`` is ``N x k`` with higher = better, as in the paper's
+    Mean Rank (MR) reporting.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    # rankdata ranks ascending; rank descending scores instead.
+    ranks = np.vstack(
+        [scipy_stats.rankdata(-row, method="average") for row in scores]
+    )
+    return ranks.mean(axis=0)
+
+
+def critical_difference(k: int, n: int, alpha: float = 0.05) -> float:
+    """Nemenyi critical distance ``q_alpha * sqrt(k(k+1) / 6N)``."""
+    if alpha != 0.05:
+        raise ValueError("only alpha = 0.05 is tabulated")
+    if k not in _Q_ALPHA_005:
+        raise ValueError(f"k must be in {sorted(_Q_ALPHA_005)}")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return _Q_ALPHA_005[k] * math.sqrt(k * (k + 1) / (6.0 * n))
+
+
+def nemenyi_diagram(
+    names: list[str],
+    scores: np.ndarray,
+    alpha: float = 0.05,
+) -> str:
+    """Text rendering of a Nemenyi diagram.
+
+    Lists the algorithms by mean rank and reports which adjacent
+    differences are insignificant (within the critical distance), the
+    textual analogue of the horizontal bars in the paper's figures.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    n, k = scores.shape
+    if len(names) != k:
+        raise ValueError("one name per column required")
+    ranks = mean_ranks(scores)
+    cd = critical_difference(k, n, alpha)
+    order = np.argsort(ranks)
+
+    lines = [f"Nemenyi diagram (CD = {cd:.3f}, N = {n}, alpha = {alpha})"]
+    for position, idx in enumerate(order, start=1):
+        lines.append(f"  {position}. {names[idx]:<6} MR = {ranks[idx]:.2f}")
+    groups: list[str] = []
+    for a in range(k):
+        for b in range(a + 1, k):
+            i, j = order[a], order[b]
+            if abs(ranks[i] - ranks[j]) < cd:
+                groups.append(f"{names[i]} ~ {names[j]}")
+    if groups:
+        lines.append("  not significantly different: " + ", ".join(groups))
+    else:
+        lines.append("  all pairwise differences are significant")
+    return "\n".join(lines)
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's r, with 0 for degenerate (constant) inputs."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size:
+        raise ValueError("arrays must have equal length")
+    if x.size < 2 or np.std(x) == 0 or np.std(y) == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

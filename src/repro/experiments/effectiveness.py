@@ -1,0 +1,153 @@
+"""Effectiveness analyses: Table 4, Figure 3, Table 5, Figures 2/7/8.
+
+All functions aggregate :class:`~repro.experiments.runner.GraphRunResult`
+lists; each algorithm's per-graph performance is the best point of its
+threshold sweep, as in the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import GraphRunResult
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+__all__ = [
+    "MacroScores",
+    "macro_effectiveness",
+    "family_effectiveness",
+    "score_matrix",
+    "TopCounts",
+    "top_counts",
+]
+
+
+@dataclass(frozen=True)
+class MacroScores:
+    """Macro-averaged effectiveness of one algorithm (a Table 4 row)."""
+
+    algorithm: str
+    precision_mu: float
+    precision_sigma: float
+    recall_mu: float
+    recall_sigma: float
+    f1_mu: float
+    f1_sigma: float
+    n_graphs: int
+
+
+def _best_scores(
+    results: list[GraphRunResult], code: str
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    precision, recall, f1 = [], [], []
+    for result in results:
+        best = result.sweeps[code].best_scores
+        precision.append(best.precision)
+        recall.append(best.recall)
+        f1.append(best.f_measure)
+    return np.array(precision), np.array(recall), np.array(f1)
+
+
+def macro_effectiveness(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> list[MacroScores]:
+    """Table 4: macro-average P/R/F1 (mu, sigma) per algorithm."""
+    rows = []
+    for code in codes:
+        precision, recall, f1 = _best_scores(results, code)
+        rows.append(
+            MacroScores(
+                algorithm=code,
+                precision_mu=float(precision.mean()) if len(precision) else 0.0,
+                precision_sigma=float(precision.std()) if len(precision) else 0.0,
+                recall_mu=float(recall.mean()) if len(recall) else 0.0,
+                recall_sigma=float(recall.std()) if len(recall) else 0.0,
+                f1_mu=float(f1.mean()) if len(f1) else 0.0,
+                f1_sigma=float(f1.std()) if len(f1) else 0.0,
+                n_graphs=len(results),
+            )
+        )
+    return rows
+
+
+def family_effectiveness(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> dict[str, list[MacroScores]]:
+    """Figure 3: per-family macro effectiveness distributions."""
+    families = sorted({r.family for r in results})
+    return {
+        family: macro_effectiveness(
+            [r for r in results if r.family == family], codes
+        )
+        for family in families
+    }
+
+
+def score_matrix(
+    results: list[GraphRunResult],
+    metric: str = "f_measure",
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> np.ndarray:
+    """``N x k`` matrix of per-graph best scores (Nemenyi input).
+
+    ``metric`` is ``"f_measure"``, ``"precision"`` or ``"recall"``.
+    """
+    if metric not in ("f_measure", "precision", "recall"):
+        raise ValueError(f"unknown metric {metric!r}")
+    matrix = np.zeros((len(results), len(codes)))
+    for row, result in enumerate(results):
+        for col, code in enumerate(codes):
+            matrix[row, col] = getattr(
+                result.sweeps[code].best_scores, metric
+            )
+    return matrix
+
+
+@dataclass
+class TopCounts:
+    """Table 5 cell: #Top1, average Delta (%), #Top2 per algorithm."""
+
+    algorithm: str
+    top1: int = 0
+    top2: int = 0
+    delta_sum: float = 0.0
+
+    @property
+    def delta_percent(self) -> float:
+        """Average margin over the runner-up, as a percentage."""
+        if self.top1 == 0:
+            return 0.0
+        return 100.0 * self.delta_sum / self.top1
+
+
+def top_counts(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+    tie_tolerance: float = 1e-9,
+) -> dict[tuple[str, str], dict[str, TopCounts]]:
+    """Table 5: per (family, category), the #Top1 / Delta / #Top2 stats.
+
+    Ties increment #Top1 (resp. #Top2) of all tied algorithms, as the
+    paper notes.  Returns ``{(family, category): {code: TopCounts}}``.
+    """
+    grouped: dict[tuple[str, str], dict[str, TopCounts]] = {}
+    for result in results:
+        key = (result.family, result.category)
+        counters = grouped.setdefault(
+            key, {code: TopCounts(code) for code in codes}
+        )
+        scores = {code: result.best_f1(code) for code in codes}
+        values = sorted(set(scores.values()), reverse=True)
+        best = values[0]
+        second = values[1] if len(values) > 1 else values[0]
+        for code, value in scores.items():
+            if abs(value - best) <= tie_tolerance:
+                counters[code].top1 += 1
+                counters[code].delta_sum += best - second
+            elif abs(value - second) <= tie_tolerance:
+                counters[code].top2 += 1
+    return grouped

@@ -1,0 +1,101 @@
+"""Time-efficiency analyses: Table 6 and Figure 4.
+
+The paper measures "the time that intervenes between receiving the
+weighted similarity graph as input and returning the partitions as
+output" at the optimal threshold.  Here every sweep point carries its
+measured runtime; Table 6 aggregates the runtime of the optimal point
+per (algorithm, dataset, family) and Figure 4 relates runtime to graph
+size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import GraphRunResult
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+__all__ = [
+    "RuntimeCell",
+    "runtime_table",
+    "scalability_points",
+    "runtime_rank_order",
+]
+
+
+@dataclass(frozen=True)
+class RuntimeCell:
+    """Mean ± std runtime (seconds) of one algorithm on one setting."""
+
+    algorithm: str
+    dataset: str
+    family: str
+    mean_seconds: float
+    std_seconds: float
+    n_graphs: int
+
+
+def runtime_table(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> list[RuntimeCell]:
+    """Table 6: mean runtime per algorithm x dataset x family."""
+    cells: list[RuntimeCell] = []
+    keys = sorted({(r.dataset, r.family) for r in results})
+    for dataset, family in keys:
+        group = [
+            r for r in results if r.dataset == dataset and r.family == family
+        ]
+        for code in codes:
+            seconds = np.array(
+                [r.sweeps[code].best_seconds for r in group]
+            )
+            cells.append(
+                RuntimeCell(
+                    algorithm=code,
+                    dataset=dataset,
+                    family=family,
+                    mean_seconds=float(seconds.mean()),
+                    std_seconds=float(seconds.std()),
+                    n_graphs=len(group),
+                )
+            )
+    return cells
+
+
+def scalability_points(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> dict[str, dict[str, list[tuple[int, float]]]]:
+    """Figure 4: ``{family: {algorithm: [(n_edges, seconds), ...]}}``.
+
+    One point per similarity graph, runtime taken at the optimal
+    threshold — the scatter the paper plots per input family.
+    """
+    figure: dict[str, dict[str, list[tuple[int, float]]]] = {}
+    for result in results:
+        by_algorithm = figure.setdefault(
+            result.family, {code: [] for code in codes}
+        )
+        for code in codes:
+            by_algorithm[code].append(
+                (result.n_edges, result.sweeps[code].best_seconds)
+            )
+    return figure
+
+
+def runtime_rank_order(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> list[str]:
+    """Algorithms ordered by mean runtime across all graphs (fastest
+    first) — the paper's QT(1) headline."""
+    means = {
+        code: float(
+            np.mean([r.sweeps[code].best_seconds for r in results])
+        )
+        for code in codes
+    }
+    return sorted(means, key=means.get)

@@ -1,0 +1,221 @@
+"""Experiment runner: the paper's full protocol over the graph corpus.
+
+For every graph of the corpus, every algorithm runs a full threshold
+sweep; BMC runs once per basis collection and keeps the better sweep
+("we examine both options and retain the best one").  The paper's
+noise and duplicate filters are then applied, and the surviving
+results are cached as JSON so the table/figure benches aggregate
+without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.evaluation.filtering import find_duplicate_inputs, is_noisy_graph
+from repro.evaluation.metrics import EffectivenessScores
+from repro.evaluation.sweep import (
+    SweepPoint,
+    SweepResult,
+    threshold_sweep,
+    threshold_sweep_best_of,
+)
+from repro.experiments.config import ExperimentConfig, default_cache_dir
+from repro.matching import (
+    BestAssignmentHeuristic,
+    BestMatchClustering,
+    create_matcher,
+)
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+from repro.pipeline.workbench import GraphRecord, generate_corpus
+
+__all__ = ["GraphRunResult", "run_experiments"]
+
+_RESULTS_NAME = "results.json"
+
+
+@dataclass
+class GraphRunResult:
+    """All algorithms' sweep results on one similarity graph."""
+
+    dataset: str
+    family: str
+    function: str
+    category: str
+    n_edges: int
+    normalized_size: float
+    sweeps: dict[str, SweepResult] = field(default_factory=dict)
+
+    def best_f1(self, code: str) -> float:
+        return self.sweeps[code].best_scores.f_measure
+
+    def best_threshold(self, code: str) -> float:
+        return self.sweeps[code].best_threshold
+
+
+def run_experiments(
+    config: ExperimentConfig,
+    cache_dir: str | Path | None = None,
+    progress: bool = False,
+) -> list[GraphRunResult]:
+    """Execute (or load from cache) the full experimental protocol."""
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    cache_dir = Path(cache_dir)
+    results_path = cache_dir / "experiments" / (
+        config.cache_key() + "_" + _RESULTS_NAME
+    )
+    if results_path.exists():
+        return _load_results(results_path)
+
+    corpus = generate_corpus(
+        config.corpus, cache_dir=cache_dir / "corpus", progress=progress
+    )
+    results = [
+        _run_graph(record, config, progress) for record in corpus
+    ]
+    results = _apply_filters(results, config)
+
+    results_path.parent.mkdir(parents=True, exist_ok=True)
+    _store_results(results_path, results)
+    return results
+
+
+def _run_graph(
+    record: GraphRecord, config: ExperimentConfig, progress: bool
+) -> GraphRunResult:
+    sweeps: dict[str, SweepResult] = {}
+    for code in PAPER_ALGORITHM_CODES:
+        if code == "BMC":
+            sweep = threshold_sweep_best_of(
+                [
+                    BestMatchClustering(basis="left"),
+                    BestMatchClustering(basis="right"),
+                ],
+                record.graph,
+                record.ground_truth,
+                config.grid,
+            )
+        elif code == "BAH":
+            matcher = BestAssignmentHeuristic(
+                max_moves=config.bah_max_moves,
+                time_limit=config.bah_time_limit,
+                seed=config.bah_seed,
+            )
+            sweep = threshold_sweep(
+                matcher, record.graph, record.ground_truth, config.grid
+            )
+        else:
+            sweep = threshold_sweep(
+                create_matcher(code),
+                record.graph,
+                record.ground_truth,
+                config.grid,
+            )
+        sweeps[code] = sweep
+    if progress:
+        best = max(sweeps.values(), key=lambda s: s.best_scores.f_measure)
+        print(
+            f"[runner] {record.dataset} {record.function}: top F1 "
+            f"{best.best_scores.f_measure:.3f} ({best.algorithm})"
+        )
+    return GraphRunResult(
+        dataset=record.dataset,
+        family=record.family,
+        function=record.function,
+        category=record.category,
+        n_edges=record.n_edges,
+        normalized_size=record.graph.density,
+        sweeps=sweeps,
+    )
+
+
+def _apply_filters(
+    results: list[GraphRunResult], config: ExperimentConfig
+) -> list[GraphRunResult]:
+    if config.apply_noise_filter:
+        results = [r for r in results if not is_noisy_graph(r.sweeps)]
+    if config.apply_duplicate_filter:
+        entries = [(r.dataset, r.n_edges, r.sweeps) for r in results]
+        duplicates = find_duplicate_inputs(entries)
+        results = [
+            r for i, r in enumerate(results) if i not in duplicates
+        ]
+    return results
+
+
+# ----------------------------------------------------------------------
+# Result (de)serialization
+# ----------------------------------------------------------------------
+def _store_results(path: Path, results: list[GraphRunResult]) -> None:
+    payload = []
+    for result in results:
+        payload.append(
+            {
+                "dataset": result.dataset,
+                "family": result.family,
+                "function": result.function,
+                "category": result.category,
+                "n_edges": result.n_edges,
+                "normalized_size": result.normalized_size,
+                "sweeps": {
+                    code: [
+                        [
+                            point.threshold,
+                            point.scores.precision,
+                            point.scores.recall,
+                            point.scores.f_measure,
+                            point.scores.true_positives,
+                            point.scores.output_pairs,
+                            point.scores.ground_truth_pairs,
+                            point.seconds,
+                        ]
+                        for point in sweep.points
+                    ]
+                    for code, sweep in result.sweeps.items()
+                },
+            }
+        )
+    path.write_text(json.dumps(payload))
+
+
+def _load_results(path: Path) -> list[GraphRunResult]:
+    payload = json.loads(path.read_text())
+    results = []
+    for entry in payload:
+        sweeps = {}
+        for code, points in entry["sweeps"].items():
+            sweep = SweepResult(algorithm=code)
+            for (
+                threshold, precision, recall, f_measure,
+                true_positives, output_pairs, truth_pairs, seconds,
+            ) in points:
+                sweep.points.append(
+                    SweepPoint(
+                        threshold=threshold,
+                        scores=EffectivenessScores(
+                            precision=precision,
+                            recall=recall,
+                            f_measure=f_measure,
+                            true_positives=int(true_positives),
+                            output_pairs=int(output_pairs),
+                            ground_truth_pairs=int(truth_pairs),
+                        ),
+                        seconds=seconds,
+                    )
+                )
+            sweeps[code] = sweep
+        results.append(
+            GraphRunResult(
+                dataset=entry["dataset"],
+                family=entry["family"],
+                function=entry["function"],
+                category=entry["category"],
+                n_edges=entry["n_edges"],
+                normalized_size=entry["normalized_size"],
+                sweeps=sweeps,
+            )
+        )
+    return results

@@ -1,0 +1,123 @@
+"""Optimal-threshold analyses: Table 8, Table 9 and Figure 9.
+
+The optimal similarity threshold is the paper's single most important
+configuration parameter; these analyses reproduce its distribution
+per algorithm and input family (Table 8 with the Pearson correlation
+to the normalized graph size), its per-dataset averages (Table 9) and
+the cross-algorithm correlation matrices (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.stats import pearson_correlation
+from repro.experiments.runner import GraphRunResult
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+__all__ = [
+    "ThresholdStats",
+    "threshold_stats",
+    "threshold_by_dataset",
+    "threshold_correlations",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdStats:
+    """A Table 8 row: threshold distribution of one algorithm."""
+
+    algorithm: str
+    family: str
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    correlation_with_size: float
+    n_graphs: int
+
+
+def threshold_stats(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> dict[str, list[ThresholdStats]]:
+    """Table 8: per family, the threshold distribution per algorithm."""
+    families = sorted({r.family for r in results})
+    table: dict[str, list[ThresholdStats]] = {}
+    for family in families:
+        group = [r for r in results if r.family == family]
+        rows = []
+        for code in codes:
+            thresholds = np.array([r.best_threshold(code) for r in group])
+            sizes = np.array([r.normalized_size for r in group])
+            quartiles = np.quantile(thresholds, [0.25, 0.5, 0.75])
+            rows.append(
+                ThresholdStats(
+                    algorithm=code,
+                    family=family,
+                    mean=float(thresholds.mean()),
+                    std=float(thresholds.std()),
+                    minimum=float(thresholds.min()),
+                    q1=float(quartiles[0]),
+                    median=float(quartiles[1]),
+                    q3=float(quartiles[2]),
+                    maximum=float(thresholds.max()),
+                    correlation_with_size=pearson_correlation(
+                        thresholds, sizes
+                    ),
+                    n_graphs=len(group),
+                )
+            )
+        table[family] = rows
+    return table
+
+
+def threshold_by_dataset(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> dict[tuple[str, str], dict[str, tuple[float, float]]]:
+    """Table 9: mean ± std threshold per (family, dataset) per algorithm.
+
+    Returns ``{(family, dataset): {code: (mean, std)}}``.
+    """
+    table: dict[tuple[str, str], dict[str, tuple[float, float]]] = {}
+    keys = sorted({(r.family, r.dataset) for r in results})
+    for family, dataset in keys:
+        group = [
+            r for r in results if r.family == family and r.dataset == dataset
+        ]
+        cells = {}
+        for code in codes:
+            thresholds = np.array([r.best_threshold(code) for r in group])
+            cells[code] = (float(thresholds.mean()), float(thresholds.std()))
+        table[(family, dataset)] = cells
+    return table
+
+
+def threshold_correlations(
+    results: list[GraphRunResult],
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> dict[str, np.ndarray]:
+    """Figure 9: per family, the k x k Pearson matrix between the
+    algorithms' optimal thresholds across graphs."""
+    figure: dict[str, np.ndarray] = {}
+    for family in sorted({r.family for r in results}):
+        group = [r for r in results if r.family == family]
+        thresholds = np.array(
+            [[r.best_threshold(code) for code in codes] for r in group]
+        )
+        k = len(codes)
+        matrix = np.eye(k)
+        for a in range(k):
+            for b in range(a + 1, k):
+                correlation = pearson_correlation(
+                    thresholds[:, a], thresholds[:, b]
+                )
+                matrix[a, b] = matrix[b, a] = correlation
+        figure[family] = matrix
+    return figure

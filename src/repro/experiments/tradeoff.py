@@ -1,0 +1,85 @@
+"""F-measure / runtime trade-off analysis: Figures 5 and 10.
+
+One point per (algorithm, input family): the macro-average best F1
+against the macro-average runtime over the graphs of one dataset —
+the paper's scatter diagrams identifying the dominating combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.runner import GraphRunResult
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+
+__all__ = ["TradeoffPoint", "tradeoff_points", "dominating_points"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One scatter point of Figure 5/10."""
+
+    algorithm: str
+    family: str
+    dataset: str
+    mean_f1: float
+    mean_seconds: float
+    n_graphs: int
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """Pareto dominance: at least as good on both axes, better on one."""
+        if self.mean_f1 < other.mean_f1:
+            return False
+        if self.mean_seconds > other.mean_seconds:
+            return False
+        return (
+            self.mean_f1 > other.mean_f1
+            or self.mean_seconds < other.mean_seconds
+        )
+
+
+def tradeoff_points(
+    results: list[GraphRunResult],
+    dataset: str,
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+) -> list[TradeoffPoint]:
+    """All (algorithm, family) points for ``dataset``."""
+    points: list[TradeoffPoint] = []
+    families = sorted(
+        {r.family for r in results if r.dataset == dataset}
+    )
+    for family in families:
+        group = [
+            r
+            for r in results
+            if r.dataset == dataset and r.family == family
+        ]
+        if not group:
+            continue
+        for code in codes:
+            f1 = np.array([r.best_f1(code) for r in group])
+            seconds = np.array(
+                [r.sweeps[code].best_seconds for r in group]
+            )
+            points.append(
+                TradeoffPoint(
+                    algorithm=code,
+                    family=family,
+                    dataset=dataset,
+                    mean_f1=float(f1.mean()),
+                    mean_seconds=float(seconds.mean()),
+                    n_graphs=len(group),
+                )
+            )
+    return points
+
+
+def dominating_points(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """The Pareto frontier of a trade-off scatter."""
+    return [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]

@@ -1,0 +1,171 @@
+"""Clustering algorithms for Dirty ER (single-collection resolution).
+
+In Dirty ER one collection contains duplicates of itself, so the
+similarity graph is *not* bipartite and clusters may hold any number
+of profiles.  The paper's related-work section sketches three recent
+methods (beyond plain connected components), implemented here on
+:mod:`networkx`:
+
+* **Maximum Clique Clustering (MCC)** — ignore edge weights and
+  repeatedly remove the maximum clique (with its vertices) until all
+  nodes are assigned;
+* **Extended Maximum Clique Clustering (EMCC)** — generalizes MCC:
+  each removed maximal clique is enlarged with outside vertices
+  adjacent to at least a minimum portion of its members;
+* **Global Edge Consistency Gain (GECG)** — start from the
+  thresholded edge labelling and iteratively flip the label of the
+  edge whose flip most increases the number of label-consistent
+  triangles; clusters are the components of match-labelled edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+__all__ = [
+    "DirtyERGraph",
+    "connected_components_clusters",
+    "maximum_clique_clustering",
+    "extended_maximum_clique_clustering",
+    "global_edge_consistency_gain",
+]
+
+#: A Dirty-ER similarity graph: any undirected weighted nx.Graph whose
+#: edge attribute ``weight`` carries the similarity in [0, 1].
+DirtyERGraph = nx.Graph
+
+
+def build_graph(
+    n_nodes: int, edges: Iterable[tuple[int, int, float]]
+) -> DirtyERGraph:
+    """Convenience constructor for a Dirty-ER similarity graph."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_nodes))
+    for u, v, weight in edges:
+        graph.add_edge(u, v, weight=float(weight))
+    return graph
+
+
+def _pruned(graph: DirtyERGraph, threshold: float) -> DirtyERGraph:
+    pruned = nx.Graph()
+    pruned.add_nodes_from(graph.nodes)
+    pruned.add_edges_from(
+        (u, v, data)
+        for u, v, data in graph.edges(data=True)
+        if data.get("weight", 0.0) >= threshold
+    )
+    return pruned
+
+
+def connected_components_clusters(
+    graph: DirtyERGraph, threshold: float
+) -> list[set[int]]:
+    """Transitive closure of the pruned graph (clusters of any size)."""
+    pruned = _pruned(graph, threshold)
+    return [set(component) for component in nx.connected_components(pruned)]
+
+
+def maximum_clique_clustering(
+    graph: DirtyERGraph, threshold: float
+) -> list[set[int]]:
+    """MCC: iteratively remove the maximum clique.
+
+    Edge weights are ignored after pruning, per the paper's
+    description.  Singleton leftovers become singleton clusters.
+    """
+    working = _pruned(graph, threshold)
+    clusters: list[set[int]] = []
+    while working.number_of_edges() > 0:
+        clique, _ = nx.max_weight_clique(working, weight=None)
+        clusters.append(set(clique))
+        working.remove_nodes_from(clique)
+    clusters.extend({node} for node in working.nodes)
+    return clusters
+
+
+def extended_maximum_clique_clustering(
+    graph: DirtyERGraph,
+    threshold: float,
+    attachment_fraction: float = 0.5,
+) -> list[set[int]]:
+    """EMCC: remove maximal cliques, then enlarge them.
+
+    After removing a clique, outside vertices adjacent (in the pruned
+    graph) to at least ``attachment_fraction`` of the clique's members
+    join the cluster.
+    """
+    if not 0.0 < attachment_fraction <= 1.0:
+        raise ValueError("attachment_fraction must be in (0, 1]")
+    pruned = _pruned(graph, threshold)
+    working = pruned.copy()
+    clusters: list[set[int]] = []
+    while working.number_of_edges() > 0:
+        clique, _ = nx.max_weight_clique(working, weight=None)
+        cluster = set(clique)
+        required = max(1, int(round(attachment_fraction * len(cluster))))
+        candidates = set(working.nodes) - cluster
+        for node in sorted(candidates):
+            incident = sum(
+                1 for member in cluster if working.has_edge(node, member)
+            )
+            if incident >= required:
+                cluster.add(node)
+        clusters.append(cluster)
+        working.remove_nodes_from(cluster)
+    clusters.extend({node} for node in working.nodes)
+    return clusters
+
+
+def global_edge_consistency_gain(
+    graph: DirtyERGraph,
+    threshold: float,
+    max_iterations: int = 100,
+) -> list[set[int]]:
+    """GECG: flip edge labels to maximize triangle consistency.
+
+    A triangle is *consistent* when its three edges carry the same
+    label.  Starting from the thresholded labelling, the single flip
+    with the largest positive consistency gain is applied per
+    iteration until no flip helps (or the iteration budget runs out);
+    clusters are the connected components of match-labelled edges.
+    """
+    labels: dict[tuple[int, int], bool] = {}
+    for u, v, data in graph.edges(data=True):
+        edge = (min(u, v), max(u, v))
+        labels[edge] = data.get("weight", 0.0) >= threshold
+
+    adjacency: dict[int, set[int]] = {node: set() for node in graph.nodes}
+    for u, v in labels:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+
+    def edge_label(a: int, b: int) -> bool:
+        return labels[(min(a, b), max(a, b))]
+
+    def flip_gain(edge: tuple[int, int]) -> int:
+        u, v = edge
+        current = labels[edge]
+        gain = 0
+        for w in adjacency[u] & adjacency[v]:
+            other = (edge_label(u, w), edge_label(v, w))
+            consistent_now = other[0] == other[1] == current
+            consistent_flip = other[0] == other[1] == (not current)
+            gain += int(consistent_flip) - int(consistent_now)
+        return gain
+
+    for _ in range(max_iterations):
+        best_edge, best_gain = None, 0
+        for edge in labels:
+            gain = flip_gain(edge)
+            if gain > best_gain:
+                best_edge, best_gain = edge, gain
+        if best_edge is None:
+            break
+        labels[best_edge] = not labels[best_edge]
+
+    matched = nx.Graph()
+    matched.add_nodes_from(graph.nodes)
+    matched.add_edges_from(edge for edge, label in labels.items() if label)
+    return [set(component) for component in nx.connected_components(matched)]

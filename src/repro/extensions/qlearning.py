@@ -1,0 +1,134 @@
+"""Q-learning bipartite matcher (the paper's flagged future work).
+
+Wang et al. (ICDE 2019) cast adaptive bipartite matching as
+reinforcement learning: a state is the pair ``(|L|, |R|)`` of matched
+node counts per side and the reward is the total weight of the
+selected matches.  The paper leaves this method out of its
+learning-free study "but we plan to further explore it in our future
+works" — this module provides that exploration.
+
+The environment here streams the graph's edges in descending weight
+order (the same stream UMC consumes greedily); at each step the agent
+either *accepts* the edge (if both endpoints are free) or *skips* it.
+Tabular Q-learning over the coarse ``(|L| bucket, |R| bucket, action)``
+space learns when skipping a heavy edge pays off later.  With the
+learning rate at zero the policy degenerates to UMC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import SimilarityGraph
+from repro.matching.base import Matcher, MatchingResult
+
+__all__ = ["QLearningMatcher"]
+
+
+class QLearningMatcher(Matcher):
+    """Tabular Q-learning over the greedy edge stream.
+
+    Parameters
+    ----------
+    episodes:
+        Training episodes over the edge stream.
+    buckets:
+        State-space granularity: matched counts are bucketed into this
+        many bins per side.
+    learning_rate, discount, epsilon:
+        Standard Q-learning hyperparameters; ``epsilon`` is the
+        exploration rate during training (greedy at inference).
+    seed:
+        Seed of the exploration randomness.
+    """
+
+    code = "QLM"
+    full_name = "Q-Learning Matcher (Wang et al. style)"
+
+    def __init__(
+        self,
+        episodes: int = 30,
+        buckets: int = 8,
+        learning_rate: float = 0.2,
+        discount: float = 0.95,
+        epsilon: float = 0.2,
+        seed: int = 42,
+    ) -> None:
+        if episodes < 0:
+            raise ValueError("episodes must be non-negative")
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        self.episodes = episodes
+        self.buckets = buckets
+        self.learning_rate = learning_rate
+        self.discount = discount
+        self.epsilon = epsilon
+        self.seed = seed
+
+    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+        mask = graph.weight > threshold
+        left = graph.left[mask]
+        right = graph.right[mask]
+        weight = graph.weight[mask]
+        if weight.size == 0:
+            return self._result([], threshold)
+        order = np.lexsort((right, left, -weight))
+        stream = list(zip(left[order], right[order], weight[order]))
+
+        q_table = np.zeros((self.buckets, self.buckets, 2))
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.episodes):
+            self._run_episode(stream, graph, q_table, rng, explore=True)
+
+        pairs = self._run_episode(
+            stream, graph, q_table, rng, explore=False
+        )
+        pairs.sort()
+        return self._result(pairs, threshold)
+
+    def _bucket(self, count: int, capacity: int) -> int:
+        if capacity <= 0:
+            return 0
+        fraction = count / capacity
+        return min(int(fraction * self.buckets), self.buckets - 1)
+
+    def _run_episode(
+        self,
+        stream: list[tuple[int, int, float]],
+        graph: SimilarityGraph,
+        q_table: np.ndarray,
+        rng: np.random.Generator,
+        explore: bool,
+    ) -> list[tuple[int, int]]:
+        matched_left: set[int] = set()
+        matched_right: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for i, j, weight in stream:
+            i, j = int(i), int(j)
+            if i in matched_left or j in matched_right:
+                continue
+            state = (
+                self._bucket(len(matched_left), graph.n_left),
+                self._bucket(len(matched_right), graph.n_right),
+            )
+            if explore and rng.random() < self.epsilon:
+                action = int(rng.integers(2))
+            else:
+                action = int(np.argmax(q_table[state]))
+            reward = float(weight) if action == 1 else 0.0
+            if action == 1:
+                matched_left.add(i)
+                matched_right.add(j)
+                pairs.append((i, j))
+            if explore:
+                next_state = (
+                    self._bucket(len(matched_left), graph.n_left),
+                    self._bucket(len(matched_right), graph.n_right),
+                )
+                best_next = float(np.max(q_table[next_state]))
+                q_table[state][action] += self.learning_rate * (
+                    reward
+                    + self.discount * best_next
+                    - q_table[state][action]
+                )
+        return pairs

@@ -1,0 +1,21 @@
+"""Bipartite similarity graph substrate.
+
+Every experiment in the paper consumes a *bipartite similarity graph*
+``G = (V1, V2, E)`` whose edges carry weights in ``[0, 1]``.  This package
+provides the graph data structure itself (:class:`SimilarityGraph`),
+min-max weight normalization, descriptive statistics, (de)serialization
+and the worked example graph of Figure 1.
+"""
+
+from repro.graph.bipartite import SimilarityGraph
+from repro.graph.examples import figure1_graph
+from repro.graph.normalize import min_max_normalize
+from repro.graph.stats import GraphStats, graph_stats
+
+__all__ = [
+    "SimilarityGraph",
+    "GraphStats",
+    "graph_stats",
+    "min_max_normalize",
+    "figure1_graph",
+]

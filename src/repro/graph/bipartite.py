@@ -1,0 +1,307 @@
+"""The bipartite similarity graph data structure.
+
+A :class:`SimilarityGraph` is the single input type shared by every
+matching algorithm in :mod:`repro.matching`.  Nodes on each side are
+dense integer indices (``0 .. n1-1`` for the left collection ``V1`` and
+``0 .. n2-1`` for the right collection ``V2``); edges are stored as three
+parallel :mod:`numpy` arrays, which keeps million-edge graphs cheap and
+makes threshold pruning a single vectorized mask.
+
+The representation intentionally mirrors the paper's problem statement:
+edges connect only nodes of different sides, weights live in ``[0, 1]``
+and the same graph is re-used across all algorithms and all thresholds
+of the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["SimilarityGraph"]
+
+
+class SimilarityGraph:
+    """A weighted bipartite graph ``G = (V1, V2, E)``.
+
+    Parameters
+    ----------
+    n_left:
+        Number of nodes in the left collection ``V1``.
+    n_right:
+        Number of nodes in the right collection ``V2``.
+    left:
+        Array of left endpoints, one per edge.
+    right:
+        Array of right endpoints, one per edge.
+    weight:
+        Array of edge weights.  Weights are expected in ``[0, 1]``; use
+        :func:`repro.graph.normalize.min_max_normalize` when a similarity
+        function produces weights on another scale.
+    name:
+        Optional human-readable identifier (e.g. the similarity function
+        that produced the graph).
+    validate:
+        When true (the default), check index bounds and weight range.
+    """
+
+    __slots__ = (
+        "n_left",
+        "n_right",
+        "left",
+        "right",
+        "weight",
+        "name",
+        "metadata",
+        "_left_adjacency",
+        "_right_adjacency",
+    )
+
+    def __init__(
+        self,
+        n_left: int,
+        n_right: int,
+        left: Sequence[int] | np.ndarray,
+        right: Sequence[int] | np.ndarray,
+        weight: Sequence[float] | np.ndarray,
+        name: str = "",
+        validate: bool = True,
+    ) -> None:
+        if n_left < 0 or n_right < 0:
+            raise ValueError("collection sizes must be non-negative")
+        self.n_left = int(n_left)
+        self.n_right = int(n_right)
+        self.left = np.asarray(left, dtype=np.int64)
+        self.right = np.asarray(right, dtype=np.int64)
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.name = name
+        self.metadata: dict = {}
+        self._left_adjacency: list[list[tuple[int, float]]] | None = None
+        self._right_adjacency: list[list[tuple[int, float]]] | None = None
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        if not (len(self.left) == len(self.right) == len(self.weight)):
+            raise ValueError("edge arrays must have equal length")
+        if len(self.left) == 0:
+            return
+        if self.left.min() < 0 or self.left.max() >= self.n_left:
+            raise ValueError("left endpoint out of range")
+        if self.right.min() < 0 or self.right.max() >= self.n_right:
+            raise ValueError("right endpoint out of range")
+        if np.isnan(self.weight).any():
+            raise ValueError("edge weights contain NaN")
+        if self.weight.min() < 0.0 or self.weight.max() > 1.0 + 1e-9:
+            raise ValueError("edge weights must lie in [0, 1]")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        n_left: int,
+        n_right: int,
+        edges: Iterable[tuple[int, int, float]],
+        name: str = "",
+    ) -> "SimilarityGraph":
+        """Build a graph from an iterable of ``(left, right, weight)``."""
+        edge_list = list(edges)
+        if edge_list:
+            left, right, weight = zip(*edge_list)
+        else:
+            left, right, weight = (), (), ()
+        return cls(n_left, n_right, left, right, weight, name=name)
+
+    @classmethod
+    def from_matrix(
+        cls,
+        matrix: np.ndarray,
+        keep_zero: bool = False,
+        name: str = "",
+    ) -> "SimilarityGraph":
+        """Build a graph from a dense ``n_left x n_right`` weight matrix.
+
+        By default edges with weight ``0`` are dropped, matching the
+        paper's convention of keeping every pair "with a similarity
+        higher than 0".
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be two-dimensional")
+        if keep_zero:
+            left, right = np.indices(matrix.shape)
+            left, right = left.ravel(), right.ravel()
+        else:
+            left, right = np.nonzero(matrix > 0.0)
+        return cls(
+            matrix.shape[0],
+            matrix.shape[1],
+            left,
+            right,
+            matrix[left, right],
+            name=name,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_edges(self) -> int:
+        """Number of edges ``m = |E|``."""
+        return int(len(self.weight))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes ``n = |V1| + |V2|``."""
+        return self.n_left + self.n_right
+
+    @property
+    def cartesian_size(self) -> int:
+        """Size of the full comparison space ``|V1| x |V2|``."""
+        return self.n_left * self.n_right
+
+    @property
+    def density(self) -> float:
+        """Fraction of the Cartesian product realised as edges."""
+        if self.cartesian_size == 0:
+            return 0.0
+        return self.n_edges / self.cartesian_size
+
+    def __len__(self) -> int:
+        return self.n_edges
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"SimilarityGraph({self.n_left}x{self.n_right},"
+            f" m={self.n_edges}{label})"
+        )
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate over edges as ``(left, right, weight)`` triples."""
+        for i, j, w in zip(self.left, self.right, self.weight):
+            yield int(i), int(j), float(w)
+
+    # ------------------------------------------------------------------
+    # Threshold pruning
+    # ------------------------------------------------------------------
+    def prune(self, threshold: float, inclusive: bool = False) -> "SimilarityGraph":
+        """Return a new graph keeping only edges above ``threshold``.
+
+        The paper's algorithms "discard all edges with a weight lower
+        than the similarity threshold"; the pseudocode uses a strict
+        ``sim > t`` comparison for most algorithms, so strict is the
+        default here.  Pass ``inclusive=True`` to keep ``sim == t``.
+        """
+        if inclusive:
+            mask = self.weight >= threshold
+        else:
+            mask = self.weight > threshold
+        pruned = SimilarityGraph(
+            self.n_left,
+            self.n_right,
+            self.left[mask],
+            self.right[mask],
+            self.weight[mask],
+            name=self.name,
+            validate=False,
+        )
+        pruned.metadata = dict(self.metadata)
+        return pruned
+
+    def edge_mask(self, threshold: float) -> np.ndarray:
+        """Boolean mask of edges with weight strictly above ``threshold``."""
+        return self.weight > threshold
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def left_adjacency(self) -> list[list[tuple[int, float]]]:
+        """Adjacency lists for ``V1``, each sorted by decreasing weight.
+
+        Ties are broken by ascending neighbour index so results are
+        deterministic.  The structure is computed once and cached.
+        """
+        if self._left_adjacency is None:
+            self._left_adjacency = self._build_adjacency(side="left")
+        return self._left_adjacency
+
+    def right_adjacency(self) -> list[list[tuple[int, float]]]:
+        """Adjacency lists for ``V2``, each sorted by decreasing weight."""
+        if self._right_adjacency is None:
+            self._right_adjacency = self._build_adjacency(side="right")
+        return self._right_adjacency
+
+    def _build_adjacency(self, side: str) -> list[list[tuple[int, float]]]:
+        if side == "left":
+            n, keys, neighbours = self.n_left, self.left, self.right
+        else:
+            n, keys, neighbours = self.n_right, self.right, self.left
+        adjacency: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        # Sorting globally by (-weight, neighbour) then appending in order
+        # yields per-node lists already sorted by decreasing weight.
+        order = np.lexsort((neighbours, -self.weight))
+        for idx in order:
+            adjacency[keys[idx]].append(
+                (int(neighbours[idx]), float(self.weight[idx]))
+            )
+        return adjacency
+
+    def average_node_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """Average adjacent-edge weight per node, for both sides.
+
+        Nodes without edges get an average of ``0``.  Used by the
+        Ricochet Sequential Rippling seed ordering.
+        """
+        left_sum = np.zeros(self.n_left)
+        right_sum = np.zeros(self.n_right)
+        left_deg = np.zeros(self.n_left)
+        right_deg = np.zeros(self.n_right)
+        np.add.at(left_sum, self.left, self.weight)
+        np.add.at(right_sum, self.right, self.weight)
+        np.add.at(left_deg, self.left, 1.0)
+        np.add.at(right_deg, self.right, 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            left_avg = np.where(left_deg > 0, left_sum / left_deg, 0.0)
+            right_avg = np.where(right_deg > 0, right_sum / right_deg, 0.0)
+        return left_avg, right_avg
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def swap_sides(self) -> "SimilarityGraph":
+        """Return the graph with ``V1`` and ``V2`` exchanged."""
+        swapped = SimilarityGraph(
+            self.n_right,
+            self.n_left,
+            self.right,
+            self.left,
+            self.weight,
+            name=self.name,
+            validate=False,
+        )
+        swapped.metadata = dict(self.metadata)
+        return swapped
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the weight matrix (missing edges are ``0``)."""
+        matrix = np.zeros((self.n_left, self.n_right))
+        matrix[self.left, self.right] = self.weight
+        return matrix
+
+    def subgraph_by_edge_indices(self, indices: np.ndarray) -> "SimilarityGraph":
+        """Return a graph restricted to the given edge indices."""
+        sub = SimilarityGraph(
+            self.n_left,
+            self.n_right,
+            self.left[indices],
+            self.right[indices],
+            self.weight[indices],
+            name=self.name,
+            validate=False,
+        )
+        sub.metadata = dict(self.metadata)
+        return sub

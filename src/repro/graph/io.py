@@ -1,0 +1,63 @@
+"""(De)serialization of similarity graphs.
+
+The experiment workbench persists the generated graph corpus to disk so
+that benchmark runs re-use it instead of recomputing all-pairs
+similarities.  The format is a compressed ``.npz`` bundle of the edge
+arrays plus a small JSON header for the metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.bipartite import SimilarityGraph
+
+__all__ = ["save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: SimilarityGraph, path: str | Path) -> None:
+    """Write ``graph`` to ``path`` as a compressed ``.npz`` bundle."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": _FORMAT_VERSION,
+        "n_left": graph.n_left,
+        "n_right": graph.n_right,
+        "name": graph.name,
+        "metadata": graph.metadata,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        left=graph.left,
+        right=graph.right,
+        weight=graph.weight,
+    )
+
+
+def load_graph(path: str | Path) -> SimilarityGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as bundle:
+        header = json.loads(bytes(bundle["header"]).decode("utf-8"))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph file version: {header.get('version')}"
+            )
+        graph = SimilarityGraph(
+            header["n_left"],
+            header["n_right"],
+            bundle["left"],
+            bundle["right"],
+            bundle["weight"],
+            name=header.get("name", ""),
+            validate=False,
+        )
+        graph.metadata = dict(header.get("metadata", {}))
+    return graph

@@ -1,0 +1,77 @@
+"""Descriptive statistics of similarity graphs.
+
+Used to regenerate Table 3 (number of graphs and average edges per
+dataset) and the scalability analysis of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import SimilarityGraph
+
+__all__ = ["GraphStats", "graph_stats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of one similarity graph."""
+
+    n_left: int
+    n_right: int
+    n_edges: int
+    density: float
+    min_weight: float
+    max_weight: float
+    mean_weight: float
+    std_weight: float
+    median_weight: float
+    mean_left_degree: float
+    mean_right_degree: float
+    isolated_left: int
+    isolated_right: int
+
+    @property
+    def normalized_size(self) -> float:
+        """``m / (|V1| * |V2|)`` — the paper's normalized graph size."""
+        return self.density
+
+
+def graph_stats(graph: SimilarityGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    if graph.n_edges == 0:
+        return GraphStats(
+            n_left=graph.n_left,
+            n_right=graph.n_right,
+            n_edges=0,
+            density=0.0,
+            min_weight=0.0,
+            max_weight=0.0,
+            mean_weight=0.0,
+            std_weight=0.0,
+            median_weight=0.0,
+            mean_left_degree=0.0,
+            mean_right_degree=0.0,
+            isolated_left=graph.n_left,
+            isolated_right=graph.n_right,
+        )
+    weights = graph.weight
+    left_connected = np.unique(graph.left).size
+    right_connected = np.unique(graph.right).size
+    return GraphStats(
+        n_left=graph.n_left,
+        n_right=graph.n_right,
+        n_edges=graph.n_edges,
+        density=graph.density,
+        min_weight=float(weights.min()),
+        max_weight=float(weights.max()),
+        mean_weight=float(weights.mean()),
+        std_weight=float(weights.std()),
+        median_weight=float(np.median(weights)),
+        mean_left_degree=graph.n_edges / graph.n_left if graph.n_left else 0.0,
+        mean_right_degree=graph.n_edges / graph.n_right if graph.n_right else 0.0,
+        isolated_left=graph.n_left - left_connected,
+        isolated_right=graph.n_right - right_connected,
+    )

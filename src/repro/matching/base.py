@@ -1,0 +1,119 @@
+"""Shared matcher interface and matching result container.
+
+The paper's problem statement (Section 2): given a bipartite similarity
+graph, output a set of partitions each holding one node, or two nodes
+from different collections.  Singleton partitions carry no information
+for the evaluation measures, so :class:`MatchingResult` stores only the
+2-node partitions (the matched pairs); everything not mentioned in a
+pair is implicitly a singleton.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.graph.bipartite import SimilarityGraph
+
+__all__ = ["Matcher", "MatchingResult"]
+
+
+@dataclass
+class MatchingResult:
+    """The output of a bipartite matching algorithm.
+
+    Attributes
+    ----------
+    pairs:
+        Matched pairs ``(left_index, right_index)``.  Every left and
+        right index appears at most once (the unique-mapping constraint
+        of CCER); :meth:`validate` enforces this.
+    algorithm:
+        Short code of the producing algorithm (e.g. ``"UMC"``).
+    threshold:
+        Similarity threshold the algorithm was run with.
+    """
+
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    algorithm: str = ""
+    threshold: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def pair_set(self) -> set[tuple[int, int]]:
+        """The matched pairs as a set, for evaluation lookups."""
+        return set(self.pairs)
+
+    def matched_left(self) -> set[int]:
+        """Left nodes that participate in some pair."""
+        return {i for i, _ in self.pairs}
+
+    def matched_right(self) -> set[int]:
+        """Right nodes that participate in some pair."""
+        return {j for _, j in self.pairs}
+
+    def total_weight(self, graph: SimilarityGraph) -> float:
+        """Sum of graph edge weights over the matched pairs.
+
+        Pairs without a corresponding graph edge contribute ``0`` (this
+        can happen for assignment-style algorithms that pair nodes first
+        and filter by threshold later).
+        """
+        lookup: dict[tuple[int, int], float] = {}
+        for i, j, w in zip(graph.left, graph.right, graph.weight):
+            key = (int(i), int(j))
+            if w > lookup.get(key, -1.0):
+                lookup[key] = float(w)
+        return sum(lookup.get(pair, 0.0) for pair in self.pairs)
+
+    def validate(self, graph: SimilarityGraph | None = None) -> None:
+        """Raise :class:`ValueError` if the result violates CCER rules.
+
+        Checks the unique-mapping constraint and, when ``graph`` is
+        given, index bounds.
+        """
+        left_seen: set[int] = set()
+        right_seen: set[int] = set()
+        for i, j in self.pairs:
+            if i in left_seen:
+                raise ValueError(f"left node {i} matched more than once")
+            if j in right_seen:
+                raise ValueError(f"right node {j} matched more than once")
+            left_seen.add(i)
+            right_seen.add(j)
+            if graph is not None:
+                if not (0 <= i < graph.n_left):
+                    raise ValueError(f"left node {i} out of range")
+                if not (0 <= j < graph.n_right):
+                    raise ValueError(f"right node {j} out of range")
+
+
+class Matcher(ABC):
+    """Base class of all bipartite matching algorithms.
+
+    Subclasses set the class attributes ``code`` (the paper's
+    three-letter identifier) and ``full_name`` and implement
+    :meth:`match`.
+    """
+
+    code: str = ""
+    full_name: str = ""
+
+    @abstractmethod
+    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+        """Partition ``graph`` using the similarity ``threshold``.
+
+        Implementations must return pairs that satisfy the
+        unique-mapping constraint and must not mutate ``graph``.
+        """
+
+    def _result(
+        self, pairs: list[tuple[int, int]], threshold: float
+    ) -> MatchingResult:
+        return MatchingResult(
+            pairs=pairs, algorithm=self.code, threshold=threshold
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,100 @@
+"""Registry mapping algorithm codes to matcher factories.
+
+The experiment drivers refer to algorithms by the paper's three-letter
+codes; this module centralizes construction so that every driver uses
+the same default configuration (e.g. BAH's step budget).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.matching.base import Matcher
+from repro.matching.best_assignment import BestAssignmentHeuristic
+from repro.matching.best_match import BestMatchClustering
+from repro.matching.connected_components import ConnectedComponentsClustering
+from repro.matching.exact import ExactClustering
+from repro.matching.gale_shapley import GaleShapleyMatching
+from repro.matching.hungarian import HungarianMatching
+from repro.matching.kiraly import KiralyClustering
+from repro.matching.ricochet import RicochetSRClustering
+from repro.matching.row_column import RowColumnClustering
+from repro.matching.unique_mapping import UniqueMappingClustering
+
+__all__ = [
+    "ALGORITHM_CODES",
+    "PAPER_ALGORITHM_CODES",
+    "create_matcher",
+    "default_matchers",
+    "paper_matchers",
+]
+
+_FACTORIES: dict[str, Callable[..., Matcher]] = {
+    "CNC": ConnectedComponentsClustering,
+    "RSR": RicochetSRClustering,
+    "RCA": RowColumnClustering,
+    "BAH": BestAssignmentHeuristic,
+    "BMC": BestMatchClustering,
+    "EXC": ExactClustering,
+    "KRC": KiralyClustering,
+    "UMC": UniqueMappingClustering,
+    "HUN": HungarianMatching,
+    "GSM": GaleShapleyMatching,
+}
+
+#: The eight algorithms evaluated by the paper, in the paper's order.
+PAPER_ALGORITHM_CODES: tuple[str, ...] = (
+    "CNC",
+    "RSR",
+    "RCA",
+    "BAH",
+    "BMC",
+    "EXC",
+    "KRC",
+    "UMC",
+)
+
+#: Every algorithm available in this library (paper + oracles).
+ALGORITHM_CODES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def create_matcher(code: str, **kwargs) -> Matcher:
+    """Instantiate the matcher registered under ``code``.
+
+    Keyword arguments are forwarded to the matcher constructor (e.g.
+    ``create_matcher("BAH", max_moves=2000, time_limit=2.0)``).
+    """
+    try:
+        factory = _FACTORIES[code.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown algorithm {code!r}; known codes: {known}")
+    return factory(**kwargs)
+
+
+def paper_matchers(
+    bah_max_moves: int = 10_000,
+    bah_time_limit: float = 120.0,
+    bah_seed: int = 42,
+) -> dict[str, Matcher]:
+    """The paper's eight algorithms with their default configuration.
+
+    BAH's budgets are exposed because laptop-scale benchmark runs use a
+    much smaller time limit than the paper's 2 minutes.
+    """
+    matchers: dict[str, Matcher] = {}
+    for code in PAPER_ALGORITHM_CODES:
+        if code == "BAH":
+            matchers[code] = BestAssignmentHeuristic(
+                max_moves=bah_max_moves,
+                time_limit=bah_time_limit,
+                seed=bah_seed,
+            )
+        else:
+            matchers[code] = create_matcher(code)
+    return matchers
+
+
+def default_matchers() -> dict[str, Matcher]:
+    """All registered algorithms with default configuration."""
+    return {code: create_matcher(code) for code in ALGORITHM_CODES}

@@ -1,0 +1,54 @@
+"""Unique Mapping clustering (UMC) — Algorithm 8.
+
+Sort all edges above the threshold by decreasing weight and greedily
+match the top-weighted pair whose entities are both still free.  This
+is the direct expression of CCER's unique-mapping constraint, and is
+equivalent to FAMER's CLIP clustering restricted to two sources.  Time
+complexity ``O(m log m)`` for the sort.
+
+UMC is the paper's most balanced algorithm (smallest precision/recall
+gap) and, together with KRC, the top F-measure performer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import SimilarityGraph
+from repro.matching.base import Matcher, MatchingResult
+
+__all__ = ["UniqueMappingClustering"]
+
+
+class UniqueMappingClustering(Matcher):
+    """UMC per Algorithm 8 of the paper.
+
+    Edges are ordered by decreasing weight with ties broken by
+    ascending ``(left, right)`` index, which makes the greedy scan
+    deterministic.
+    """
+
+    code = "UMC"
+    full_name = "Unique Mapping Clustering"
+
+    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+        mask = graph.weight > threshold
+        left = graph.left[mask]
+        right = graph.right[mask]
+        weight = graph.weight[mask]
+
+        order = np.lexsort((right, left, -weight))
+
+        matched_left: set[int] = set()
+        matched_right: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for idx in order:
+            i = int(left[idx])
+            j = int(right[idx])
+            if i in matched_left or j in matched_right:
+                continue
+            matched_left.add(i)
+            matched_right.add(j)
+            pairs.append((i, j))
+        pairs.sort()
+        return self._result(pairs, threshold)

@@ -1,0 +1,40 @@
+"""Similarity-graph generation pipeline (Section 4 + 5 of the paper).
+
+Turns a :class:`~repro.datasets.generator.CleanCleanDataset` into the
+four families of similarity graphs the paper evaluates:
+
+* schema-based syntactic — 16 string measures per selected attribute;
+* schema-agnostic syntactic — 6 n-gram vector models x 6 measures plus
+  6 n-gram graph models x 4 measures (60 functions);
+* schema-based semantic — 2 embedding models x 3 measures per attribute;
+* schema-agnostic semantic — 2 embedding models x 3 measures.
+
+No blocking is applied: *all* entity pairs with similarity above zero
+become edges, exactly as in the paper's protocol.  The all-pairs
+computations are vectorized (see :mod:`repro.pipeline.batched_strings`)
+so the protocol stays laptop-feasible.
+"""
+
+from repro.pipeline.graph_builder import matrix_to_graph
+from repro.pipeline.similarity_functions import (
+    FAMILIES,
+    SimilarityFunctionSpec,
+    compute_similarity_matrix,
+    enumerate_functions,
+)
+from repro.pipeline.workbench import (
+    GraphCorpusConfig,
+    GraphRecord,
+    generate_corpus,
+)
+
+__all__ = [
+    "FAMILIES",
+    "SimilarityFunctionSpec",
+    "enumerate_functions",
+    "compute_similarity_matrix",
+    "matrix_to_graph",
+    "GraphCorpusConfig",
+    "GraphRecord",
+    "generate_corpus",
+]

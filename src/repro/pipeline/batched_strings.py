@@ -1,0 +1,441 @@
+"""Vectorized all-pairs schema-based string similarity.
+
+The paper's protocol compares *every* pair of attribute values (no
+blocking), which makes per-pair dynamic programming in Python the
+bottleneck.  This module provides all-pairs matrix versions of the 16
+schema-based measures:
+
+* the alignment measures (Levenshtein, Damerau-Levenshtein,
+  Needleman-Wunsch, LCS substring/subsequence) run one DP per *left*
+  string against **all** right strings simultaneously, with numpy rows
+  of shape ``(n_right, max_len)``.  The in-row dependency of the
+  insert operation is resolved with the classic min-accumulate trick:
+  ``row[j] = min_k<=j (cand[k] + gap*(j-k))``.
+* the token measures are expressed over sparse token-count matrices,
+  re-using the machinery of :mod:`repro.vectorspace`;
+* q-grams distance uses sparse padded-trigram profiles;
+* Jaro and Monge-Elkan iterate pairs (both are cheap per pair;
+  Monge-Elkan memoizes token-level Smith-Waterman scores, which repeat
+  heavily across pairs).
+
+Convention: pairs where **either** value is empty get similarity 0 —
+an absent value carries no matching evidence (the scalar measures in
+:mod:`repro.textsim` keep the measure-level "both empty = identical"
+convention; the graph builder needs the evidence-level one).
+
+Every function here is differentially tested against its scalar
+counterpart in ``tests/pipeline/test_batched_strings.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from scipy import sparse
+
+from repro.textsim.character import _padded_trigrams
+from repro.textsim.smith_waterman import smith_waterman_similarity
+from repro.textsim.character import jaro_similarity
+from repro.textsim.tokenize import tokens
+from repro.vectorspace.measures import pairwise_min_sum
+
+__all__ = [
+    "levenshtein_matrix",
+    "damerau_levenshtein_matrix",
+    "needleman_wunsch_matrix",
+    "lcs_subsequence_matrix",
+    "lcs_substring_matrix",
+    "jaro_matrix",
+    "qgrams_matrix",
+    "monge_elkan_matrix",
+    "token_measure_matrix",
+    "TOKEN_MATRIX_MEASURES",
+    "schema_based_matrix",
+]
+
+
+def _encode(strings: list[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Pad strings into an int32 code-point matrix plus lengths.
+
+    Padding uses ``-1``, which never equals a real code point.
+    """
+    lengths = np.array([len(s) for s in strings], dtype=np.int64)
+    max_len = int(lengths.max()) if len(strings) else 0
+    codes = np.full((len(strings), max_len), -1, dtype=np.int32)
+    for row, text in enumerate(strings):
+        if text:
+            codes[row, : len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype=np.uint32
+            ).astype(np.int32)
+    return codes, lengths
+
+
+def _empty_mask(lefts: list[str], rights: list[str]) -> np.ndarray:
+    """True where either side of the pair is an empty string."""
+    left_empty = np.array([not s for s in lefts], dtype=bool)
+    right_empty = np.array([not s for s in rights], dtype=bool)
+    return left_empty[:, None] | right_empty[None, :]
+
+
+def _scan_min(row: np.ndarray, step: float) -> np.ndarray:
+    """In-row propagation ``row[j] = min_k<=j (row[k] + step*(j-k))``."""
+    width = row.shape[1]
+    offsets = step * np.arange(width)
+    shifted = np.minimum.accumulate(row - offsets, axis=1)
+    return shifted + offsets
+
+
+def levenshtein_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+    """All-pairs normalized Levenshtein similarity."""
+    return _edit_distance_matrix(lefts, rights, transpositions=False)
+
+
+def damerau_levenshtein_matrix(
+    lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    """All-pairs normalized Damerau-Levenshtein (OSA) similarity."""
+    return _edit_distance_matrix(lefts, rights, transpositions=True)
+
+
+def _edit_distance_matrix(
+    lefts: list[str], rights: list[str], transpositions: bool
+) -> np.ndarray:
+    n_left, n_right = len(lefts), len(rights)
+    result = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return result
+    codes, lengths = _encode(rights)
+    max_len = codes.shape[1]
+    base_row = np.arange(max_len + 1, dtype=np.float64)
+    take = lengths[:, None]  # per-right-string final DP column
+
+    for i, text in enumerate(lefts):
+        if not text:
+            continue
+        previous = np.broadcast_to(base_row, (n_right, max_len + 1)).copy()
+        prev_prev: np.ndarray | None = None
+        prev_char = -2
+        for step, char in enumerate(text, start=1):
+            code = ord(char)
+            cost = (codes != code).astype(np.float64)
+            current = np.empty_like(previous)
+            current[:, 0] = step
+            current[:, 1:] = np.minimum(
+                previous[:, :-1] + cost,  # substitute
+                previous[:, 1:] + 1.0,  # delete
+            )
+            if transpositions and prev_prev is not None and max_len >= 2:
+                swap_ok = (codes[:, :-1] == code) & (codes[:, 1:] == prev_char)
+                candidate = prev_prev[:, :-2] + 1.0
+                current[:, 2:] = np.where(
+                    swap_ok, np.minimum(current[:, 2:], candidate),
+                    current[:, 2:],
+                )
+            current = _scan_min(current, 1.0)  # insert propagation
+            prev_prev = previous
+            previous = current
+            prev_char = code
+        distances = np.take_along_axis(previous, take, axis=1)[:, 0]
+        longest = np.maximum(len(text), lengths)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result[i] = np.where(longest > 0, 1.0 - distances / longest, 0.0)
+    result[_empty_mask(lefts, rights)] = 0.0
+    return np.clip(result, 0.0, 1.0)
+
+
+_NW_GAP = 2.0
+
+
+def needleman_wunsch_matrix(
+    lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    """All-pairs Needleman-Wunsch similarity (mismatch 1, gap 2)."""
+    n_left, n_right = len(lefts), len(rights)
+    result = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return result
+    codes, lengths = _encode(rights)
+    max_len = codes.shape[1]
+    base_row = _NW_GAP * np.arange(max_len + 1, dtype=np.float64)
+    take = lengths[:, None]
+
+    for i, text in enumerate(lefts):
+        if not text:
+            continue
+        previous = np.broadcast_to(base_row, (n_right, max_len + 1)).copy()
+        for step, char in enumerate(text, start=1):
+            cost = (codes != ord(char)).astype(np.float64)
+            current = np.empty_like(previous)
+            current[:, 0] = step * _NW_GAP
+            current[:, 1:] = np.minimum(
+                previous[:, :-1] + cost,
+                previous[:, 1:] + _NW_GAP,
+            )
+            current = _scan_min(current, _NW_GAP)
+            previous = current
+        costs = np.take_along_axis(previous, take, axis=1)[:, 0]
+        longest = np.maximum(len(text), lengths)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result[i] = np.where(
+                longest > 0, 1.0 - costs / (_NW_GAP * longest), 0.0
+            )
+    result[_empty_mask(lefts, rights)] = 0.0
+    return np.clip(result, 0.0, 1.0)
+
+
+def lcs_subsequence_matrix(
+    lefts: list[str], rights: list[str]
+) -> np.ndarray:
+    """All-pairs longest-common-subsequence similarity."""
+    n_left, n_right = len(lefts), len(rights)
+    result = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return result
+    codes, lengths = _encode(rights)
+    max_len = codes.shape[1]
+    take = lengths[:, None]
+
+    for i, text in enumerate(lefts):
+        if not text:
+            continue
+        previous = np.zeros((n_right, max_len + 1))
+        for char in text:
+            eq = (codes == ord(char)).astype(np.float64)
+            current = np.empty_like(previous)
+            current[:, 0] = 0.0
+            current[:, 1:] = np.maximum(
+                previous[:, 1:], previous[:, :-1] + eq
+            )
+            np.maximum.accumulate(current, axis=1, out=current)
+            previous = current
+        lcs = np.take_along_axis(previous, take, axis=1)[:, 0]
+        longest = np.maximum(len(text), lengths)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result[i] = np.where(longest > 0, lcs / longest, 0.0)
+    result[_empty_mask(lefts, rights)] = 0.0
+    return np.clip(result, 0.0, 1.0)
+
+
+def lcs_substring_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+    """All-pairs longest-common-substring similarity."""
+    n_left, n_right = len(lefts), len(rights)
+    result = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return result
+    codes, lengths = _encode(rights)
+    max_len = codes.shape[1]
+
+    for i, text in enumerate(lefts):
+        if not text:
+            continue
+        best = np.zeros(n_right)
+        previous = np.zeros((n_right, max_len + 1))
+        for char in text:
+            eq = (codes == ord(char)).astype(np.float64)
+            current = np.zeros_like(previous)
+            current[:, 1:] = (previous[:, :-1] + 1.0) * eq
+            np.maximum(best, current.max(axis=1), out=best)
+            previous = current
+        longest = np.maximum(len(text), lengths)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result[i] = np.where(longest > 0, best / longest, 0.0)
+    result[_empty_mask(lefts, rights)] = 0.0
+    return np.clip(result, 0.0, 1.0)
+
+
+def jaro_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+    """All-pairs Jaro similarity (per-pair; O(len) each)."""
+    result = np.zeros((len(lefts), len(rights)))
+    for i, a in enumerate(lefts):
+        if not a:
+            continue
+        for j, b in enumerate(rights):
+            if b:
+                result[i, j] = jaro_similarity(a, b)
+    return result
+
+
+def qgrams_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+    """All-pairs q-grams distance similarity via sparse profiles."""
+    n_left, n_right = len(lefts), len(rights)
+    if n_left == 0 or n_right == 0:
+        return np.zeros((n_left, n_right))
+    profiles_left = [_padded_trigrams(s) if s else Counter() for s in lefts]
+    profiles_right = [_padded_trigrams(s) if s else Counter() for s in rights]
+    matrix_left, matrix_right = _profiles_to_sparse(
+        profiles_left, profiles_right
+    )
+    minimum = pairwise_min_sum(matrix_left, matrix_right)
+    sums_left = matrix_left.sum(axis=1).A1
+    sums_right = matrix_right.sum(axis=1).A1
+    total = sums_left[:, None] + sums_right[None, :]
+    # block distance = total - 2*min; similarity = 1 - distance/total.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(total > 0, 2.0 * minimum / total, 0.0)
+    result[_empty_mask(lefts, rights)] = 0.0
+    return np.clip(result, 0.0, 1.0)
+
+
+def monge_elkan_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+    """All-pairs Monge-Elkan with memoized Smith-Waterman scores."""
+    token_lists_left = [tokens(s) for s in lefts]
+    token_lists_right = [tokens(s) for s in rights]
+    cache: dict[tuple[str, str], float] = {}
+
+    def sw(a: str, b: str) -> float:
+        key = (a, b)
+        value = cache.get(key)
+        if value is None:
+            value = smith_waterman_similarity(a, b)
+            cache[key] = value
+        return value
+
+    result = np.zeros((len(lefts), len(rights)))
+    for i, list_a in enumerate(token_lists_left):
+        if not list_a:
+            continue
+        for j, list_b in enumerate(token_lists_right):
+            if not list_b:
+                continue
+            total = 0.0
+            for token_a in list_a:
+                total += max(sw(token_a, token_b) for token_b in list_b)
+            result[i, j] = total / len(list_a)
+    return np.clip(result, 0.0, 1.0)
+
+
+def _profiles_to_sparse(
+    profiles_left: list[Counter], profiles_right: list[Counter]
+) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    vocabulary: dict[str, int] = {}
+    for profile in profiles_left:
+        for key in profile:
+            vocabulary.setdefault(key, len(vocabulary))
+    for profile in profiles_right:
+        for key in profile:
+            vocabulary.setdefault(key, len(vocabulary))
+
+    def assemble(profiles: list[Counter]) -> sparse.csr_matrix:
+        rows, cols, values = [], [], []
+        for row, profile in enumerate(profiles):
+            for key, count in profile.items():
+                rows.append(row)
+                cols.append(vocabulary[key])
+                values.append(float(count))
+        return sparse.csr_matrix(
+            (values, (rows, cols)),
+            shape=(len(profiles), len(vocabulary)),
+            dtype=np.float64,
+        )
+
+    return assemble(profiles_left), assemble(profiles_right)
+
+
+def _token_counts(strings: list[str]) -> list[Counter]:
+    return [Counter(tokens(s)) for s in strings]
+
+
+def token_measure_matrix(
+    lefts: list[str], rights: list[str], measure: str
+) -> np.ndarray:
+    """All-pairs token measure over sparse token-count vectors.
+
+    ``measure`` is one of ``TOKEN_MATRIX_MEASURES``.
+    """
+    if measure not in TOKEN_MATRIX_MEASURES:
+        known = ", ".join(sorted(TOKEN_MATRIX_MEASURES))
+        raise KeyError(f"unknown token measure {measure!r}; known: {known}")
+    n_left, n_right = len(lefts), len(rights)
+    if n_left == 0 or n_right == 0:
+        return np.zeros((n_left, n_right))
+    counts_left, counts_right = _token_counts(lefts), _token_counts(rights)
+    matrix_left, matrix_right = _profiles_to_sparse(counts_left, counts_right)
+    binary_left = matrix_left.copy()
+    binary_left.data = np.ones_like(binary_left.data)
+    binary_right = matrix_right.copy()
+    binary_right.data = np.ones_like(binary_right.data)
+
+    bag_left = matrix_left.sum(axis=1).A1
+    bag_right = matrix_right.sum(axis=1).A1
+    set_left = binary_left.sum(axis=1).A1
+    set_right = binary_right.sum(axis=1).A1
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if measure == "cosine_tokens":
+            norms_left = np.sqrt(matrix_left.multiply(matrix_left).sum(axis=1)).A1
+            norms_right = np.sqrt(
+                matrix_right.multiply(matrix_right).sum(axis=1)
+            ).A1
+            dot = np.asarray((matrix_left @ matrix_right.T).todense())
+            denominator = norms_left[:, None] * norms_right[None, :]
+            result = np.where(denominator > 0, dot / denominator, 0.0)
+        elif measure == "euclidean_tokens":
+            sq_left = matrix_left.multiply(matrix_left).sum(axis=1).A1
+            sq_right = matrix_right.multiply(matrix_right).sum(axis=1).A1
+            dot = np.asarray((matrix_left @ matrix_right.T).todense())
+            squared = sq_left[:, None] + sq_right[None, :] - 2.0 * dot
+            distance = np.sqrt(np.maximum(squared, 0.0))
+            bound = np.sqrt(sq_left[:, None] + sq_right[None, :])
+            result = np.where(bound > 0, 1.0 - distance / bound, 0.0)
+        elif measure == "block_distance":
+            minimum = pairwise_min_sum(matrix_left, matrix_right)
+            total = bag_left[:, None] + bag_right[None, :]
+            result = np.where(total > 0, 2.0 * minimum / total, 0.0)
+        elif measure == "dice":
+            intersection = np.asarray((binary_left @ binary_right.T).todense())
+            total = set_left[:, None] + set_right[None, :]
+            result = np.where(total > 0, 2.0 * intersection / total, 0.0)
+        elif measure == "simon_white":
+            minimum = pairwise_min_sum(matrix_left, matrix_right)
+            total = bag_left[:, None] + bag_right[None, :]
+            result = np.where(total > 0, 2.0 * minimum / total, 0.0)
+        elif measure == "overlap":
+            intersection = np.asarray((binary_left @ binary_right.T).todense())
+            smaller = np.minimum.outer(set_left, set_right)
+            result = np.where(smaller > 0, intersection / smaller, 0.0)
+        elif measure == "jaccard":
+            intersection = np.asarray((binary_left @ binary_right.T).todense())
+            union = set_left[:, None] + set_right[None, :] - intersection
+            result = np.where(union > 0, intersection / union, 0.0)
+        else:  # generalized_jaccard
+            minimum = pairwise_min_sum(matrix_left, matrix_right)
+            maximum = bag_left[:, None] + bag_right[None, :] - minimum
+            result = np.where(maximum > 0, minimum / maximum, 0.0)
+
+    result[_empty_mask(lefts, rights)] = 0.0
+    return np.clip(result, 0.0, 1.0)
+
+
+#: Token measures computable by :func:`token_measure_matrix`.
+TOKEN_MATRIX_MEASURES = (
+    "cosine_tokens",
+    "euclidean_tokens",
+    "block_distance",
+    "dice",
+    "simon_white",
+    "overlap",
+    "jaccard",
+    "generalized_jaccard",
+)
+
+_MATRIX_FUNCTIONS = {
+    "levenshtein": levenshtein_matrix,
+    "damerau_levenshtein": damerau_levenshtein_matrix,
+    "needleman_wunsch": needleman_wunsch_matrix,
+    "lcs_subsequence": lcs_subsequence_matrix,
+    "lcs_substring": lcs_substring_matrix,
+    "jaro": jaro_matrix,
+    "qgrams": qgrams_matrix,
+    "monge_elkan": monge_elkan_matrix,
+}
+
+
+def schema_based_matrix(
+    lefts: list[str], rights: list[str], measure: str
+) -> np.ndarray:
+    """All-pairs matrix for any of the 16 schema-based measures."""
+    function = _MATRIX_FUNCTIONS.get(measure)
+    if function is not None:
+        return function(lefts, rights)
+    return token_measure_matrix(lefts, rights, measure)

@@ -1,0 +1,320 @@
+"""The similarity-function taxonomy of Section 4.
+
+Enumerates the learning-free similarity functions of the paper's four
+input families and computes their all-pairs similarity matrices on a
+:class:`~repro.datasets.generator.CleanCleanDataset`:
+
+===========================  ====================================  =====
+Family                       Functions                             Count
+===========================  ====================================  =====
+schema-based syntactic       16 string measures x attribute        16/attr
+schema-agnostic syntactic    6 vector models x 6 vector measures    36
+                             6 graph models x 4 graph measures      24
+schema-based semantic        2 embedding models x 3 measures        6/attr
+schema-agnostic semantic     2 embedding models x 3 measures        6
+===========================  ====================================  =====
+
+(The paper's 60 schema-agnostic syntactic functions are exactly the
+36 + 24 above.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.generator import CleanCleanDataset
+from repro.embeddings import (
+    ContextualModel,
+    FastTextLikeModel,
+    cosine_similarity_matrix,
+    euclidean_similarity_matrix,
+    word_mover_similarity_matrix,
+)
+from repro.ngramgraph import (
+    build_entity_graphs,
+    containment_matrix,
+    graphs_to_sparse,
+    normalized_value_matrix,
+    overall_matrix,
+    value_matrix,
+)
+from repro.pipeline.batched_strings import schema_based_matrix
+from repro.textsim.registry import SCHEMA_BASED_MEASURES
+from repro.vectorspace import (
+    arcs_matrix,
+    build_vector_models,
+    cosine_matrix,
+    generalized_jaccard_matrix,
+    jaccard_matrix,
+)
+
+__all__ = [
+    "FAMILIES",
+    "SimilarityFunctionSpec",
+    "enumerate_functions",
+    "compute_similarity_matrix",
+]
+
+#: The paper's four input families.
+FAMILIES = (
+    "schema_based_syntactic",
+    "schema_agnostic_syntactic",
+    "schema_based_semantic",
+    "schema_agnostic_semantic",
+)
+
+#: N-gram model configurations, as in the paper: character n in
+#: {2, 3, 4} and token n in {1, 2, 3}.
+NGRAM_MODELS: tuple[tuple[str, int], ...] = (
+    ("char", 2),
+    ("char", 3),
+    ("char", 4),
+    ("token", 1),
+    ("token", 2),
+    ("token", 3),
+)
+
+VECTOR_MEASURES = (
+    "arcs",
+    "cosine_tf",
+    "cosine_tfidf",
+    "jaccard",
+    "gjs_tf",
+    "gjs_tfidf",
+)
+
+GRAPH_MEASURES = ("containment", "value", "normalized_value", "overall")
+
+SEMANTIC_MODELS = ("fasttext_like", "albert_like")
+
+SEMANTIC_MEASURES = ("cosine", "euclidean", "wmd")
+
+
+@dataclass(frozen=True)
+class SimilarityFunctionSpec:
+    """One similarity function of the taxonomy.
+
+    ``details`` holds the family-specific configuration: the measure
+    name, the n-gram model, the embedding model, etc.
+    """
+
+    family: str
+    details: dict = field(default_factory=dict, hash=False, compare=False)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown family {self.family!r}")
+
+    @property
+    def scope(self) -> str:
+        """``schema_based`` or ``schema_agnostic``."""
+        return (
+            "schema_based"
+            if self.family.startswith("schema_based")
+            else "schema_agnostic"
+        )
+
+    @property
+    def form(self) -> str:
+        """``syntactic`` or ``semantic``."""
+        return "syntactic" if self.family.endswith("syntactic") else "semantic"
+
+
+def enumerate_functions(
+    dataset: CleanCleanDataset,
+    families: tuple[str, ...] = FAMILIES,
+    schema_based_measures: tuple[str, ...] | None = None,
+    ngram_models: tuple[tuple[str, int], ...] = NGRAM_MODELS,
+    vector_measures: tuple[str, ...] = VECTOR_MEASURES,
+    graph_measures: tuple[str, ...] = GRAPH_MEASURES,
+    semantic_models: tuple[str, ...] = SEMANTIC_MODELS,
+    semantic_measures: tuple[str, ...] = SEMANTIC_MEASURES,
+    max_attributes: int | None = None,
+) -> list[SimilarityFunctionSpec]:
+    """All similarity-function specs applicable to ``dataset``.
+
+    The schema-based families iterate the dataset's high-coverage
+    attributes (``spec.schema_attributes``), exactly as the paper
+    restricts schema-based settings to such attributes;
+    ``max_attributes`` truncates that list for reduced-size corpora.
+    """
+    if schema_based_measures is None:
+        schema_based_measures = tuple(SCHEMA_BASED_MEASURES)
+    specs: list[SimilarityFunctionSpec] = []
+    attributes = dataset.spec.schema_attributes
+    if max_attributes is not None:
+        attributes = attributes[:max_attributes]
+
+    if "schema_based_syntactic" in families:
+        for attribute in attributes:
+            for measure in schema_based_measures:
+                specs.append(
+                    SimilarityFunctionSpec(
+                        family="schema_based_syntactic",
+                        details={"attribute": attribute, "measure": measure},
+                        name=f"sb-syn:{attribute}:{measure}",
+                    )
+                )
+
+    if "schema_agnostic_syntactic" in families:
+        for unit, n in ngram_models:
+            for measure in vector_measures:
+                specs.append(
+                    SimilarityFunctionSpec(
+                        family="schema_agnostic_syntactic",
+                        details={
+                            "model": "vector",
+                            "unit": unit,
+                            "n": n,
+                            "measure": measure,
+                        },
+                        name=f"sa-syn:vec:{unit}{n}:{measure}",
+                    )
+                )
+            for measure in graph_measures:
+                specs.append(
+                    SimilarityFunctionSpec(
+                        family="schema_agnostic_syntactic",
+                        details={
+                            "model": "graph",
+                            "unit": unit,
+                            "n": n,
+                            "measure": measure,
+                        },
+                        name=f"sa-syn:gra:{unit}{n}:{measure}",
+                    )
+                )
+
+    if "schema_based_semantic" in families:
+        for attribute in attributes:
+            for model in semantic_models:
+                for measure in semantic_measures:
+                    specs.append(
+                        SimilarityFunctionSpec(
+                            family="schema_based_semantic",
+                            details={
+                                "attribute": attribute,
+                                "model": model,
+                                "measure": measure,
+                            },
+                            name=f"sb-sem:{attribute}:{model}:{measure}",
+                        )
+                    )
+
+    if "schema_agnostic_semantic" in families:
+        for model in semantic_models:
+            for measure in semantic_measures:
+                specs.append(
+                    SimilarityFunctionSpec(
+                        family="schema_agnostic_semantic",
+                        details={"model": model, "measure": measure},
+                        name=f"sa-sem:{model}:{measure}",
+                    )
+                )
+    return specs
+
+
+def compute_similarity_matrix(
+    dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
+) -> np.ndarray:
+    """The all-pairs similarity matrix of ``spec`` on ``dataset``."""
+    if spec.family == "schema_based_syntactic":
+        lefts = dataset.left.attribute_values(spec.details["attribute"])
+        rights = dataset.right.attribute_values(spec.details["attribute"])
+        return schema_based_matrix(lefts, rights, spec.details["measure"])
+    if spec.family == "schema_agnostic_syntactic":
+        if spec.details["model"] == "vector":
+            return _vector_matrix(dataset, spec)
+        return _graph_model_matrix(dataset, spec)
+    if spec.family == "schema_based_semantic":
+        attribute = spec.details["attribute"]
+        lefts = dataset.left.attribute_values(attribute)
+        rights = dataset.right.attribute_values(attribute)
+        return _semantic_matrix(lefts, rights, spec)
+    # schema_agnostic_semantic
+    return _semantic_matrix(dataset.left.texts(), dataset.right.texts(), spec)
+
+
+def _vector_matrix(
+    dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
+) -> np.ndarray:
+    measure = spec.details["measure"]
+    weighting = "tfidf" if measure.endswith("tfidf") else "tf"
+    left, right = build_vector_models(
+        dataset.left.texts(),
+        dataset.right.texts(),
+        n=spec.details["n"],
+        unit=spec.details["unit"],
+        weighting=weighting,
+    )
+    if measure == "arcs":
+        return arcs_matrix(left, right)
+    if measure.startswith("cosine"):
+        return cosine_matrix(left, right)
+    if measure == "jaccard":
+        return jaccard_matrix(left, right)
+    if measure.startswith("gjs"):
+        return generalized_jaccard_matrix(left, right)
+    raise KeyError(f"unknown vector measure {measure!r}")
+
+
+def _graph_model_matrix(
+    dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
+) -> np.ndarray:
+    graphs_left = build_entity_graphs(
+        dataset.left.value_lists(), n=spec.details["n"],
+        unit=spec.details["unit"],
+    )
+    graphs_right = build_entity_graphs(
+        dataset.right.value_lists(), n=spec.details["n"],
+        unit=spec.details["unit"],
+    )
+    sparse_left, sparse_right = graphs_to_sparse(graphs_left, graphs_right)
+    measure = spec.details["measure"]
+    if measure == "containment":
+        return containment_matrix(sparse_left, sparse_right)
+    if measure == "value":
+        return value_matrix(sparse_left, sparse_right)
+    if measure == "normalized_value":
+        return normalized_value_matrix(sparse_left, sparse_right)
+    if measure == "overall":
+        return overall_matrix(sparse_left, sparse_right)
+    raise KeyError(f"unknown graph measure {measure!r}")
+
+
+def _make_semantic_model(name: str):
+    if name == "fasttext_like":
+        return FastTextLikeModel()
+    if name == "albert_like":
+        return ContextualModel()
+    raise KeyError(f"unknown semantic model {name!r}")
+
+
+def _semantic_matrix(
+    lefts: list[str], rights: list[str], spec: SimilarityFunctionSpec
+) -> np.ndarray:
+    model = _make_semantic_model(spec.details["model"])
+    measure = spec.details["measure"]
+    if measure == "wmd":
+        tokens_left = [model.embed_tokens(text) for text in lefts]
+        tokens_right = [model.embed_tokens(text) for text in rights]
+        result = word_mover_similarity_matrix(tokens_left, tokens_right)
+    else:
+        matrix_left = model.embed_texts(lefts)
+        matrix_right = model.embed_texts(rights)
+        if measure == "cosine":
+            result = cosine_similarity_matrix(matrix_left, matrix_right)
+        elif measure == "euclidean":
+            result = euclidean_similarity_matrix(matrix_left, matrix_right)
+        else:
+            raise KeyError(f"unknown semantic measure {measure!r}")
+    # No evidence for pairs with an empty side (mirrors the builder
+    # convention of the syntactic families).
+    left_empty = np.array([not text for text in lefts], dtype=bool)
+    right_empty = np.array([not text for text in rights], dtype=bool)
+    result[left_empty, :] = 0.0
+    result[:, right_empty] = 0.0
+    return result

@@ -1,0 +1,243 @@
+"""Character-level string similarity measures (Appendix B.1.1).
+
+All functions return similarities in ``[0, 1]``; distance-based
+measures are normalized by their attainable maximum and inverted.
+Two empty strings are defined as identical (similarity 1), matching
+the Simmetrics conventions the paper relies on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "damerau_levenshtein_distance",
+    "damerau_levenshtein_similarity",
+    "jaro_similarity",
+    "needleman_wunsch_similarity",
+    "qgrams_distance_similarity",
+    "longest_common_substring_similarity",
+    "longest_common_subsequence_similarity",
+]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of insert/delete/substitute operations."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a  # iterate over the longer string, row is shorter
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # delete
+                    current[j - 1] + 1,  # insert
+                    previous[j - 1] + cost,  # substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """``1 - distance / max(len)``; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance with adjacent transpositions (OSA variant).
+
+    The optimal string alignment variant counts a transposition of two
+    adjacent characters as a single operation, which is the behaviour
+    of the Simmetrics implementation the paper used.
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    rows = len(a) + 1
+    cols = len(b) + 1
+    dist = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
+    return dist[-1][-1]
+
+
+def damerau_levenshtein_similarity(a: str, b: str) -> float:
+    """``1 - distance / max(len)``; 1.0 for two empty strings."""
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - damerau_levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """The Jaro similarity (common characters and transpositions)."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    common = 0
+    for i, ca in enumerate(a):
+        low = max(0, i - window)
+        high = min(len(b), i + window + 1)
+        for j in range(low, high):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = True
+                b_flags[j] = True
+                common += 1
+                break
+    if common == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if not flagged:
+            continue
+        while not b_flags[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        common / len(a)
+        + common / len(b)
+        + (common - transpositions) / common
+    ) / 3.0
+
+
+# Needleman-Wunsch alignment costs: aligned match is free, a mismatch
+# costs 1 and a gap costs 2 (the Simmetrics defaults, expressed as
+# positive costs to minimise).
+_NW_MISMATCH = 1.0
+_NW_GAP = 2.0
+
+
+def needleman_wunsch_similarity(a: str, b: str) -> float:
+    """Global alignment cost normalized into a similarity.
+
+    The minimal alignment cost is divided by its upper bound
+    ``gap_cost * max(len(a), len(b))`` (aligning against gaps plus
+    mismatches can never cost more) and inverted.
+    """
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    previous = [j * _NW_GAP for j in range(len(b) + 1)]
+    for i, ca in enumerate(a, start=1):
+        current = [i * _NW_GAP]
+        for j, cb in enumerate(b, start=1):
+            cost = 0.0 if ca == cb else _NW_MISMATCH
+            current.append(
+                min(
+                    previous[j] + _NW_GAP,
+                    current[j - 1] + _NW_GAP,
+                    previous[j - 1] + cost,
+                )
+            )
+        previous = current
+    max_cost = _NW_GAP * max(len(a), len(b))
+    return 1.0 - previous[-1] / max_cost
+
+
+def _padded_trigrams(text: str) -> Counter:
+    """Tri-grams with ``##`` padding, as in Simmetrics' QGramsDistance."""
+    padded = "##" + text + "##"
+    return Counter(padded[i : i + 3] for i in range(len(padded) - 2))
+
+
+def qgrams_distance_similarity(a: str, b: str) -> float:
+    """Block distance over padded tri-gram profiles, inverted."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    grams_a = _padded_trigrams(a)
+    grams_b = _padded_trigrams(b)
+    total = sum(grams_a.values()) + sum(grams_b.values())
+    if total == 0:
+        return 1.0
+    difference = 0
+    for gram in grams_a.keys() | grams_b.keys():
+        difference += abs(grams_a[gram] - grams_b[gram])
+    return 1.0 - difference / total
+
+
+def longest_common_substring_similarity(a: str, b: str) -> float:
+    """``|longest common substring| / max(len)``."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    best = 0
+    previous = [0] * (len(b) + 1)
+    for ca in a:
+        current = [0]
+        for j, cb in enumerate(b, start=1):
+            if ca == cb:
+                length = previous[j - 1] + 1
+                current.append(length)
+                if length > best:
+                    best = length
+            else:
+                current.append(0)
+        previous = current
+    return best / max(len(a), len(b))
+
+
+def longest_common_subsequence_similarity(a: str, b: str) -> float:
+    """``|longest common subsequence| / max(len)``."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    previous = [0] * (len(b) + 1)
+    for ca in a:
+        current = [0]
+        for j, cb in enumerate(b, start=1):
+            if ca == cb:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1] / max(len(a), len(b))

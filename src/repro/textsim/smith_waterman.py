@@ -1,0 +1,48 @@
+"""Smith-Waterman local alignment similarity.
+
+Used as the secondary character-level measure inside Monge-Elkan
+(Appendix B.1.2), following the optimized Smith-Waterman / Gotoh
+approach of the Simmetrics implementation: match +1, mismatch -2,
+gap -0.5, normalized by the length of the shorter string (the maximum
+attainable local score).
+"""
+
+from __future__ import annotations
+
+__all__ = ["smith_waterman_score", "smith_waterman_similarity"]
+
+_MATCH = 1.0
+_MISMATCH = -2.0
+_GAP = -0.5
+
+
+def smith_waterman_score(a: str, b: str) -> float:
+    """Raw best local alignment score between ``a`` and ``b``."""
+    if not a or not b:
+        return 0.0
+    best = 0.0
+    previous = [0.0] * (len(b) + 1)
+    for ca in a:
+        current = [0.0]
+        for j, cb in enumerate(b, start=1):
+            score = max(
+                0.0,
+                previous[j - 1] + (_MATCH if ca == cb else _MISMATCH),
+                previous[j] + _GAP,
+                current[j - 1] + _GAP,
+            )
+            current.append(score)
+            if score > best:
+                best = score
+        previous = current
+    return best
+
+
+def smith_waterman_similarity(a: str, b: str) -> float:
+    """Local alignment score normalized by the shorter string length."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    shortest = min(len(a), len(b))
+    return smith_waterman_score(a, b) / (shortest * _MATCH)

@@ -1,0 +1,153 @@
+"""Construction of n-gram vector models.
+
+The paper's bag models (Appendix B.2.1):
+
+* ``TF(t, e) = f_t / N_e`` — occurrence frequency normalized by the
+  number of grams in the entity;
+* ``TF-IDF(t, e) = TF(t, e) * IDF(t)`` with
+  ``IDF(t) = log(|E| / (DF(t) + 1))`` where ``E`` is the full entity
+  collection (here: the union of both input collections, since IDF
+  must be comparable across the bipartition).
+
+IDF is clamped at zero: a gram occurring in (almost) every entity
+would otherwise receive a negative weight, which breaks the ``[0, 1]``
+range of the downstream similarity measures — the clamp treats such
+grams as stop words, matching their intent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.textsim.tokenize import character_ngrams, token_ngrams
+
+__all__ = ["VectorModel", "build_vector_models", "ngram_profiles"]
+
+
+def ngram_profiles(texts: list[str], n: int, unit: str) -> list[Counter]:
+    """Per-entity n-gram frequency profiles.
+
+    ``unit`` selects ``"char"`` or ``"token"`` n-grams.
+    """
+    if unit == "char":
+        return [Counter(character_ngrams(text, n)) for text in texts]
+    if unit == "token":
+        return [Counter(token_ngrams(text, n)) for text in texts]
+    raise ValueError("unit must be 'char' or 'token'")
+
+
+@dataclass
+class VectorModel:
+    """A collection of entities as a sparse TF or TF-IDF matrix.
+
+    Attributes
+    ----------
+    matrix:
+        ``n_entities x vocabulary`` CSR matrix of gram weights.
+    binary:
+        Same shape, 1 where a gram is present (used by the set-based
+        measures).
+    document_frequency:
+        Per-gram document frequency *within this collection* (used by
+        ARCS, which weights grams by ``DF1 * DF2``).
+    vocabulary:
+        Gram string -> column index (shared by both collections).
+    """
+
+    matrix: sparse.csr_matrix
+    binary: sparse.csr_matrix
+    document_frequency: np.ndarray
+    vocabulary: dict[str, int]
+
+    @property
+    def n_entities(self) -> int:
+        return self.matrix.shape[0]
+
+
+def build_vector_models(
+    texts_left: list[str],
+    texts_right: list[str],
+    n: int,
+    unit: str,
+    weighting: str = "tf",
+) -> tuple[VectorModel, VectorModel]:
+    """Build aligned vector models for two entity collections.
+
+    The vocabulary and IDF statistics are shared so that the two
+    matrices live in the same space.  ``weighting`` is ``"tf"`` or
+    ``"tfidf"``.
+    """
+    if weighting not in ("tf", "tfidf"):
+        raise ValueError("weighting must be 'tf' or 'tfidf'")
+    profiles_left = ngram_profiles(texts_left, n, unit)
+    profiles_right = ngram_profiles(texts_right, n, unit)
+
+    vocabulary: dict[str, int] = {}
+    for profile in profiles_left:
+        for gram in profile:
+            vocabulary.setdefault(gram, len(vocabulary))
+    for profile in profiles_right:
+        for gram in profile:
+            vocabulary.setdefault(gram, len(vocabulary))
+
+    n_terms = len(vocabulary)
+    df_left = np.zeros(n_terms)
+    df_right = np.zeros(n_terms)
+    for profile in profiles_left:
+        for gram in profile:
+            df_left[vocabulary[gram]] += 1
+    for profile in profiles_right:
+        for gram in profile:
+            df_right[vocabulary[gram]] += 1
+
+    if weighting == "tfidf":
+        n_docs = len(profiles_left) + len(profiles_right)
+        with np.errstate(divide="ignore"):
+            idf = np.log(n_docs / (df_left + df_right + 1.0))
+        idf = np.maximum(idf, 0.0)
+    else:
+        idf = None
+
+    left = _assemble(profiles_left, vocabulary, df_left, idf)
+    right = _assemble(profiles_right, vocabulary, df_right, idf)
+    return left, right
+
+
+def _assemble(
+    profiles: list[Counter],
+    vocabulary: dict[str, int],
+    document_frequency: np.ndarray,
+    idf: np.ndarray | None,
+) -> VectorModel:
+    rows: list[int] = []
+    cols: list[int] = []
+    tf_values: list[float] = []
+    for row, profile in enumerate(profiles):
+        total = sum(profile.values())
+        if total == 0:
+            continue
+        for gram, count in profile.items():
+            rows.append(row)
+            cols.append(vocabulary[gram])
+            tf_values.append(count / total)
+    shape = (len(profiles), len(vocabulary))
+    weights = np.asarray(tf_values)
+    if idf is not None and len(cols) > 0:
+        weights = weights * idf[np.asarray(cols)]
+    matrix = sparse.csr_matrix(
+        (weights, (rows, cols)), shape=shape, dtype=np.float64
+    )
+    binary = sparse.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=shape, dtype=np.float64
+    )
+    return VectorModel(
+        matrix=matrix,
+        binary=binary,
+        document_frequency=document_frequency,
+        vocabulary=vocabulary,
+    )

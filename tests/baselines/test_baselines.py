@@ -1,0 +1,136 @@
+"""Tests for the GMM, ZeroER-like and learned matchers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GaussianMixture1D, LearnedMatcher, ZeroERLikeMatcher
+from repro.baselines.learned import stack_feature_matrices
+from repro.evaluation import evaluate_pairs
+from repro.graph import SimilarityGraph
+
+
+def _bimodal(rng, n=400):
+    low = rng.normal(0.2, 0.05, n)
+    high = rng.normal(0.8, 0.05, n // 4)
+    return np.clip(np.concatenate([low, high]), 0, 1)
+
+
+class TestGMM:
+    def test_recovers_two_modes(self):
+        rng = np.random.default_rng(0)
+        values = _bimodal(rng)
+        mixture = GaussianMixture1D().fit(values)
+        means = sorted(mixture.means_)
+        assert means[0] == pytest.approx(0.2, abs=0.05)
+        assert means[1] == pytest.approx(0.8, abs=0.05)
+
+    def test_posterior_separates_modes(self):
+        rng = np.random.default_rng(1)
+        mixture = GaussianMixture1D().fit(_bimodal(rng))
+        posterior = mixture.predict_proba(np.array([0.15, 0.85]))
+        assert posterior[0] < 0.1
+        assert posterior[1] > 0.9
+
+    def test_requires_two_observations(self):
+        with pytest.raises(ValueError):
+            GaussianMixture1D().fit(np.array([0.5]))
+
+    def test_constant_data_does_not_crash(self):
+        mixture = GaussianMixture1D().fit(np.full(20, 0.5))
+        posterior = mixture.predict_proba(np.array([0.5]))
+        assert 0.0 <= posterior[0] <= 1.0
+
+    def test_weights_sum_to_one(self):
+        rng = np.random.default_rng(2)
+        mixture = GaussianMixture1D().fit(_bimodal(rng))
+        assert mixture.weights_.sum() == pytest.approx(1.0)
+
+
+class TestZeroERLike:
+    def _graph_with_signal(self, rng, n=40, n_matches=20):
+        edges = []
+        truth = set()
+        for i in range(n_matches):
+            edges.append((i, i, float(np.clip(rng.normal(0.85, 0.05), 0, 1))))
+            truth.add((i, i))
+        for _ in range(n * 6):
+            i = int(rng.integers(n))
+            j = int(rng.integers(n))
+            if i != j:
+                edges.append(
+                    (i, j, float(np.clip(rng.normal(0.25, 0.08), 0.01, 1)))
+                )
+        return SimilarityGraph.from_edges(n, n, edges), truth
+
+    def test_finds_high_mode_matches(self):
+        rng = np.random.default_rng(3)
+        graph, truth = self._graph_with_signal(rng)
+        result = ZeroERLikeMatcher().match(graph, 0.0)
+        result.validate(graph)
+        scores = evaluate_pairs(result.pairs, truth)
+        assert scores.f_measure > 0.8
+
+    def test_respects_one_to_one(self):
+        graph = SimilarityGraph.from_edges(
+            2, 2, [(0, 0, 0.9), (0, 1, 0.85), (1, 0, 0.2), (1, 1, 0.22)]
+        )
+        result = ZeroERLikeMatcher().match(graph, 0.0)
+        result.validate(graph)
+
+    def test_empty_graph(self):
+        graph = SimilarityGraph.from_edges(3, 3, [])
+        assert ZeroERLikeMatcher().match(graph, 0.0).pairs == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ZeroERLikeMatcher(posterior_threshold=1.5)
+
+
+class TestLearnedMatcher:
+    def _features_and_truth(self, rng, n=30):
+        truth = {(i, i) for i in range(n)}
+        signal = np.clip(rng.normal(0.8, 0.1, (n, n)), 0, 1)
+        noise = np.clip(rng.normal(0.3, 0.1, (n, n)), 0, 1)
+        feature = np.where(np.eye(n, dtype=bool), signal, noise)
+        graph = SimilarityGraph.from_matrix(feature)
+        features = stack_feature_matrices([graph, graph])
+        return features, truth
+
+    def test_learns_diagonal(self):
+        rng = np.random.default_rng(4)
+        features, truth = self._features_and_truth(rng)
+        training = {(i, i) for i in range(15)}
+        matcher = LearnedMatcher().fit(features, training)
+        result = matcher.predict(features)
+        scores = evaluate_pairs(result.pairs, truth)
+        assert scores.f_measure > 0.8
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LearnedMatcher().predict(np.zeros((2, 2, 1)))
+
+    def test_fit_requires_positives(self):
+        with pytest.raises(ValueError):
+            LearnedMatcher().fit(np.zeros((2, 2, 1)), set())
+
+    def test_stack_requires_same_shapes(self):
+        a = SimilarityGraph.from_edges(2, 2, [(0, 0, 0.5)])
+        b = SimilarityGraph.from_edges(3, 2, [(0, 0, 0.5)])
+        with pytest.raises(ValueError):
+            stack_feature_matrices([a, b])
+
+    def test_stack_requires_graphs(self):
+        with pytest.raises(ValueError):
+            stack_feature_matrices([])
+
+    def test_prediction_respects_one_to_one(self):
+        rng = np.random.default_rng(5)
+        features, truth = self._features_and_truth(rng, n=10)
+        matcher = LearnedMatcher().fit(features, truth)
+        result = matcher.predict(features)
+        lefts = [i for i, _ in result.pairs]
+        rights = [j for _, j in result.pairs]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))

@@ -1,0 +1,113 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph import SimilarityGraph, figure1_graph
+
+
+@pytest.fixture
+def fig1():
+    """The paper's Figure 1(a) similarity graph."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def empty_graph():
+    return SimilarityGraph.from_edges(4, 3, [])
+
+
+@pytest.fixture
+def perfect_graph():
+    """A 3x3 graph with an unambiguous perfect matching."""
+    return SimilarityGraph.from_edges(
+        3,
+        3,
+        [
+            (0, 0, 0.9),
+            (1, 1, 0.8),
+            (2, 2, 0.7),
+            (0, 1, 0.2),
+            (1, 2, 0.1),
+        ],
+    )
+
+
+@st.composite
+def similarity_graphs(
+    draw,
+    max_left: int = 8,
+    max_right: int = 8,
+    max_edges: int = 24,
+):
+    """Random bipartite similarity graphs for property-based tests.
+
+    Weights avoid exact 0.0 (the paper only keeps pairs with similarity
+    above zero) and are rounded to 3 decimals so that thresholds drawn
+    from a coarser grid never collide with edge weights.
+    """
+    n_left = draw(st.integers(min_value=0, max_value=max_left))
+    n_right = draw(st.integers(min_value=0, max_value=max_right))
+    if n_left == 0 or n_right == 0:
+        return SimilarityGraph.from_edges(n_left, n_right, [])
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    seen: set[tuple[int, int]] = set()
+    edges = []
+    for _ in range(n_edges):
+        i = draw(st.integers(min_value=0, max_value=n_left - 1))
+        j = draw(st.integers(min_value=0, max_value=n_right - 1))
+        if (i, j) in seen:
+            continue
+        seen.add((i, j))
+        w = draw(
+            st.floats(
+                min_value=0.001,
+                max_value=1.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        edges.append((i, j, round(w, 3)))
+    return SimilarityGraph.from_edges(n_left, n_right, edges)
+
+
+def thresholds_strategy():
+    """Thresholds on the paper's sweep grid, offset to dodge weights."""
+    return st.sampled_from([round(0.05 * k + 0.0005, 4) for k in range(20)])
+
+
+def assert_valid_result(result, graph, threshold, inclusive: bool = False):
+    """Common invariants every matcher result must satisfy."""
+    result.validate(graph)
+    weights = {}
+    for i, j, w in zip(graph.left, graph.right, graph.weight):
+        weights[(int(i), int(j))] = max(weights.get((int(i), int(j)), 0.0), w)
+    for pair in result.pairs:
+        assert pair in weights, f"pair {pair} is not a graph edge"
+        if inclusive:
+            assert weights[pair] >= threshold
+        else:
+            assert weights[pair] > threshold
+
+
+def graph_signature(graph):
+    """Snapshot of a graph's content, for mutation checks."""
+    return (
+        graph.n_left,
+        graph.n_right,
+        graph.left.copy(),
+        graph.right.copy(),
+        graph.weight.copy(),
+    )
+
+
+def assert_unchanged(graph, signature):
+    n_left, n_right, left, right, weight = signature
+    assert graph.n_left == n_left
+    assert graph.n_right == n_right
+    assert np.array_equal(graph.left, left)
+    assert np.array_equal(graph.right, right)
+    assert np.array_equal(graph.weight, weight)

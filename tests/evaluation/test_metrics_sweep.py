@@ -1,0 +1,146 @@
+"""Tests for effectiveness metrics and the threshold sweep."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    DEFAULT_THRESHOLD_GRID,
+    evaluate_pairs,
+    optimal_threshold,
+    threshold_sweep,
+)
+from repro.evaluation.sweep import SweepResult, threshold_sweep_best_of
+from repro.graph import SimilarityGraph
+from repro.matching import BestMatchClustering, UniqueMappingClustering
+
+
+class TestEvaluatePairs:
+    def test_perfect(self):
+        truth = {(0, 0), (1, 1)}
+        scores = evaluate_pairs([(0, 0), (1, 1)], truth)
+        assert scores.precision == 1.0
+        assert scores.recall == 1.0
+        assert scores.f_measure == 1.0
+        assert scores.true_positives == 2
+
+    def test_partial(self):
+        truth = {(0, 0), (1, 1), (2, 2), (3, 3)}
+        scores = evaluate_pairs([(0, 0), (5, 5)], truth)
+        assert scores.precision == 0.5
+        assert scores.recall == 0.25
+        assert scores.f_measure == pytest.approx(2 * 0.5 * 0.25 / 0.75)
+
+    def test_empty_output(self):
+        scores = evaluate_pairs([], {(0, 0)})
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.f_measure == 0.0
+
+    def test_empty_ground_truth(self):
+        scores = evaluate_pairs([(0, 0)], set())
+        assert scores.recall == 0.0
+        assert scores.f_measure == 0.0
+
+    def test_duplicate_pairs_counted_once(self):
+        truth = {(0, 0)}
+        scores = evaluate_pairs([(0, 0), (0, 0)], truth)
+        assert scores.output_pairs == 1
+        assert scores.precision == 1.0
+
+    @given(
+        st.sets(
+            st.tuples(
+                st.integers(0, 5), st.integers(0, 5)
+            ),
+            max_size=10,
+        ),
+        st.sets(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_measures_in_range(self, output, truth):
+        scores = evaluate_pairs(output, truth)
+        assert 0.0 <= scores.precision <= 1.0
+        assert 0.0 <= scores.recall <= 1.0
+        assert 0.0 <= scores.f_measure <= 1.0
+        assert min(scores.precision, scores.recall) <= scores.f_measure
+
+    def test_f1_between_p_and_r(self):
+        truth = {(0, 0), (1, 1), (2, 2)}
+        scores = evaluate_pairs([(0, 0), (9, 9)], truth)
+        low, high = sorted([scores.precision, scores.recall])
+        assert low <= scores.f_measure <= high
+
+
+class TestSweep:
+    def _graph_and_truth(self):
+        graph = SimilarityGraph.from_edges(
+            3,
+            3,
+            [
+                (0, 0, 0.9),
+                (1, 1, 0.6),
+                (2, 2, 0.4),
+                (0, 1, 0.3),  # noise edge
+                (1, 0, 0.35),  # noise edge
+            ],
+        )
+        truth = {(0, 0), (1, 1), (2, 2)}
+        return graph, truth
+
+    def test_grid_matches_paper(self):
+        assert DEFAULT_THRESHOLD_GRID[0] == 0.05
+        assert DEFAULT_THRESHOLD_GRID[-1] == 1.0
+        assert len(DEFAULT_THRESHOLD_GRID) == 20
+
+    def test_sweep_covers_grid(self):
+        graph, truth = self._graph_and_truth()
+        sweep = threshold_sweep(UniqueMappingClustering(), graph, truth)
+        assert [p.threshold for p in sweep.points] == list(
+            DEFAULT_THRESHOLD_GRID
+        )
+
+    def test_optimal_is_largest_on_ties(self):
+        graph, truth = self._graph_and_truth()
+        sweep = threshold_sweep(UniqueMappingClustering(), graph, truth)
+        # All thresholds in [0.05, 0.35] give perfect F1 (the noise
+        # edges are dominated); the optimum must be the largest of them.
+        best = sweep.best
+        assert best.scores.f_measure == 1.0
+        assert best.threshold == pytest.approx(0.35)
+
+    def test_optimal_threshold_shorthand(self):
+        graph, truth = self._graph_and_truth()
+        assert optimal_threshold(
+            UniqueMappingClustering(), graph, truth
+        ) == pytest.approx(0.35)
+
+    def test_runtime_recorded(self):
+        graph, truth = self._graph_and_truth()
+        sweep = threshold_sweep(UniqueMappingClustering(), graph, truth)
+        assert sweep.mean_seconds >= 0.0
+        assert sweep.best_seconds >= 0.0
+
+    def test_empty_sweep_raises(self):
+        with pytest.raises(ValueError):
+            SweepResult(algorithm="UMC").best
+
+    def test_best_of_picks_better_basis(self):
+        graph, truth = self._graph_and_truth()
+        best = threshold_sweep_best_of(
+            [BestMatchClustering("left"), BestMatchClustering("right")],
+            graph,
+            truth,
+        )
+        single = threshold_sweep(BestMatchClustering("left"), graph, truth)
+        assert best.best_scores.f_measure >= single.best_scores.f_measure
+
+    def test_best_of_requires_matchers(self):
+        graph, truth = self._graph_and_truth()
+        with pytest.raises(ValueError):
+            threshold_sweep_best_of([], graph, truth)

@@ -1,0 +1,210 @@
+"""Tests for the statistics, filtering and report modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.filtering import (
+    F1_NOISE_FLOOR,
+    find_duplicate_inputs,
+    is_noisy_graph,
+)
+from repro.evaluation.metrics import EffectivenessScores
+from repro.evaluation.report import format_mu_sigma, render_table
+from repro.evaluation.stats import (
+    critical_difference,
+    friedman_test,
+    mean_ranks,
+    nemenyi_diagram,
+    pearson_correlation,
+)
+from repro.evaluation.sweep import SweepPoint, SweepResult
+
+
+def _scores(f1: float, precision: float = 0.5, recall: float = 0.5):
+    return EffectivenessScores(
+        precision=precision,
+        recall=recall,
+        f_measure=f1,
+        true_positives=0,
+        output_pairs=0,
+        ground_truth_pairs=0,
+    )
+
+
+def _sweep(code: str, threshold: float, f1: float, precision=0.5, recall=0.5):
+    result = SweepResult(algorithm=code)
+    result.points.append(
+        SweepPoint(
+            threshold=threshold,
+            scores=_scores(f1, precision, recall),
+            seconds=0.0,
+        )
+    )
+    return result
+
+
+class TestFriedman:
+    def test_distinguishes_clear_differences(self):
+        rng = np.random.default_rng(0)
+        n = 50
+        scores = np.column_stack(
+            [
+                rng.uniform(0.8, 0.9, n),  # clearly best
+                rng.uniform(0.4, 0.5, n),
+                rng.uniform(0.1, 0.2, n),  # clearly worst
+            ]
+        )
+        result = friedman_test(scores)
+        assert result.rejected
+        assert result.p_value < 0.01
+
+    def test_requires_three_columns(self):
+        with pytest.raises(ValueError):
+            friedman_test(np.ones((10, 2)))
+
+    def test_mean_ranks_ordering(self):
+        scores = np.array([[0.9, 0.5, 0.1]] * 5)
+        ranks = mean_ranks(scores)
+        assert ranks[0] == 1.0
+        assert ranks[1] == 2.0
+        assert ranks[2] == 3.0
+
+    def test_mean_ranks_ties(self):
+        scores = np.array([[0.5, 0.5]] * 4)
+        ranks = mean_ranks(scores)
+        assert ranks[0] == ranks[1] == 1.5
+
+
+class TestCriticalDifference:
+    def test_paper_value(self):
+        """k=8 algorithms, N=739 graphs -> CD ~ 0.37 (Figure 2)."""
+        assert critical_difference(8, 739) == pytest.approx(0.386, abs=0.01)
+
+    def test_grows_with_fewer_samples(self):
+        assert critical_difference(8, 100) > critical_difference(8, 1000)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            critical_difference(15, 100)
+        with pytest.raises(ValueError):
+            critical_difference(8, 0)
+        with pytest.raises(ValueError):
+            critical_difference(8, 100, alpha=0.01)
+
+
+class TestNemenyiDiagram:
+    def test_renders_ranks_and_cd(self):
+        rng = np.random.default_rng(1)
+        scores = np.column_stack(
+            [rng.uniform(0.7, 0.9, 30), rng.uniform(0.4, 0.6, 30),
+             rng.uniform(0.1, 0.3, 30)]
+        )
+        text = nemenyi_diagram(["AAA", "BBB", "CCC"], scores)
+        assert "CD" in text
+        assert text.index("AAA") < text.index("BBB") < text.index("CCC")
+
+    def test_insignificant_pairs_reported(self):
+        scores = np.array([[0.5, 0.5001, 0.1]] * 10)
+        text = nemenyi_diagram(["A", "B", "C"], scores)
+        assert "A ~ B" in text or "B ~ A" in text
+
+    def test_requires_matching_names(self):
+        with pytest.raises(ValueError):
+            nemenyi_diagram(["A"], np.ones((5, 3)))
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(x, 2 * x) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_degenerate_is_zero(self):
+        assert pearson_correlation(
+            np.ones(5), np.arange(5, dtype=float)
+        ) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+
+class TestNoiseFiltering:
+    def test_noisy_graph_detected(self):
+        sweeps = {
+            "UMC": _sweep("UMC", 0.5, 0.1),
+            "KRC": _sweep("KRC", 0.5, 0.2),
+        }
+        assert is_noisy_graph(sweeps)
+
+    def test_signal_graph_kept(self):
+        sweeps = {
+            "UMC": _sweep("UMC", 0.5, 0.1),
+            "KRC": _sweep("KRC", 0.5, F1_NOISE_FLOOR + 0.01),
+        }
+        assert not is_noisy_graph(sweeps)
+
+    def test_empty_is_noisy(self):
+        assert is_noisy_graph({})
+
+
+class TestDuplicateDetection:
+    def _entry(self, dataset, edges, f1_a=0.8, f1_b=0.7, threshold=0.5):
+        sweeps = {
+            "UMC": _sweep("UMC", threshold, f1_a),
+            "KRC": _sweep("KRC", threshold, f1_b),
+        }
+        return (dataset, edges, sweeps)
+
+    def test_duplicates_found(self):
+        entries = [self._entry("d1", 100), self._entry("d1", 100)]
+        assert find_duplicate_inputs(entries) == {1}
+
+    def test_different_edge_counts_not_duplicates(self):
+        entries = [self._entry("d1", 100), self._entry("d1", 101)]
+        assert find_duplicate_inputs(entries) == set()
+
+    def test_different_datasets_not_duplicates(self):
+        entries = [self._entry("d1", 100), self._entry("d2", 100)]
+        assert find_duplicate_inputs(entries) == set()
+
+    def test_different_thresholds_not_duplicates(self):
+        entries = [
+            self._entry("d1", 100, threshold=0.5),
+            self._entry("d1", 100, threshold=0.6),
+        ]
+        assert find_duplicate_inputs(entries) == set()
+
+    def test_needs_two_agreeing_algorithms(self):
+        a = ("d1", 100, {
+            "UMC": _sweep("UMC", 0.5, 0.8),
+            "KRC": _sweep("KRC", 0.5, 0.7),
+        })
+        b = ("d1", 100, {
+            "UMC": _sweep("UMC", 0.5, 0.8),
+            "KRC": _sweep("KRC", 0.5, 0.5),  # differs beyond tolerance
+        })
+        assert find_duplicate_inputs([a, b]) == set()
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        table = render_table(
+            ["alg", "F1"], [["UMC", "0.618"], ["KRC", "0.619"]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "alg" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_format_mu_sigma(self):
+        assert format_mu_sigma(0.6175, 0.1932) == "0.618±0.193"

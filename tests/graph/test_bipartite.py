@@ -1,0 +1,184 @@
+"""Unit tests for the SimilarityGraph data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graph import SimilarityGraph
+from tests.conftest import similarity_graphs
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = SimilarityGraph.from_edges(2, 3, [(0, 1, 0.5), (1, 2, 0.75)])
+        assert g.n_left == 2
+        assert g.n_right == 3
+        assert g.n_edges == 2
+        assert g.n_nodes == 5
+        assert list(g.edges()) == [(0, 1, 0.5), (1, 2, 0.75)]
+
+    def test_from_edges_empty(self):
+        g = SimilarityGraph.from_edges(4, 4, [])
+        assert g.n_edges == 0
+        assert g.density == 0.0
+
+    def test_from_matrix_drops_zeros(self):
+        matrix = np.array([[0.0, 0.4], [0.9, 0.0]])
+        g = SimilarityGraph.from_matrix(matrix)
+        assert sorted(g.edges()) == [(0, 1, 0.4), (1, 0, 0.9)]
+
+    def test_from_matrix_keep_zero(self):
+        matrix = np.array([[0.0, 0.4], [0.9, 0.0]])
+        g = SimilarityGraph.from_matrix(matrix, keep_zero=True)
+        assert g.n_edges == 4
+
+    def test_from_matrix_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph.from_matrix(np.zeros(3))
+
+    def test_rejects_out_of_range_left(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph.from_edges(2, 2, [(2, 0, 0.5)])
+
+    def test_rejects_out_of_range_right(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph.from_edges(2, 2, [(0, 5, 0.5)])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph.from_edges(2, 2, [(0, 0, -0.1)])
+
+    def test_rejects_weight_above_one(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph.from_edges(2, 2, [(0, 0, 1.5)])
+
+    def test_rejects_nan_weight(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph.from_edges(2, 2, [(0, 0, float("nan"))])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph(2, 2, [0, 1], [0], [0.5, 0.6])
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValueError):
+            SimilarityGraph(-1, 2, [], [], [])
+
+
+class TestProperties:
+    def test_density(self):
+        g = SimilarityGraph.from_edges(2, 2, [(0, 0, 0.5)])
+        assert g.density == 0.25
+
+    def test_cartesian_size(self):
+        g = SimilarityGraph.from_edges(3, 7, [])
+        assert g.cartesian_size == 21
+
+    def test_len_is_edge_count(self):
+        g = SimilarityGraph.from_edges(2, 2, [(0, 0, 0.5), (1, 1, 0.5)])
+        assert len(g) == 2
+
+
+class TestPrune:
+    def test_strict_by_default(self):
+        g = SimilarityGraph.from_edges(
+            2, 2, [(0, 0, 0.5), (0, 1, 0.6), (1, 1, 0.4)]
+        )
+        pruned = g.prune(0.5)
+        assert sorted(pruned.edges()) == [(0, 1, 0.6)]
+
+    def test_inclusive(self):
+        g = SimilarityGraph.from_edges(2, 2, [(0, 0, 0.5), (1, 1, 0.4)])
+        pruned = g.prune(0.5, inclusive=True)
+        assert sorted(pruned.edges()) == [(0, 0, 0.5)]
+
+    def test_prune_keeps_sizes(self):
+        g = SimilarityGraph.from_edges(5, 6, [(0, 0, 0.3)])
+        pruned = g.prune(0.9)
+        assert pruned.n_left == 5
+        assert pruned.n_right == 6
+        assert pruned.n_edges == 0
+
+    @given(similarity_graphs())
+    def test_prune_monotone(self, graph):
+        low = graph.prune(0.2)
+        high = graph.prune(0.8)
+        assert high.n_edges <= low.n_edges <= graph.n_edges
+
+
+class TestAdjacency:
+    def test_left_adjacency_sorted_desc(self):
+        g = SimilarityGraph.from_edges(
+            1, 3, [(0, 0, 0.2), (0, 1, 0.9), (0, 2, 0.5)]
+        )
+        assert g.left_adjacency()[0] == [(1, 0.9), (2, 0.5), (0, 0.2)]
+
+    def test_right_adjacency_sorted_desc(self):
+        g = SimilarityGraph.from_edges(
+            3, 1, [(0, 0, 0.2), (1, 0, 0.9), (2, 0, 0.5)]
+        )
+        assert g.right_adjacency()[0] == [(1, 0.9), (2, 0.5), (0, 0.2)]
+
+    def test_tie_break_by_index(self):
+        g = SimilarityGraph.from_edges(
+            1, 3, [(0, 2, 0.5), (0, 0, 0.5), (0, 1, 0.5)]
+        )
+        assert g.left_adjacency()[0] == [(0, 0.5), (1, 0.5), (2, 0.5)]
+
+    def test_isolated_nodes_have_empty_lists(self):
+        g = SimilarityGraph.from_edges(3, 3, [(0, 0, 0.5)])
+        adjacency = g.left_adjacency()
+        assert adjacency[1] == []
+        assert adjacency[2] == []
+
+    @given(similarity_graphs())
+    def test_adjacency_covers_all_edges(self, graph):
+        total = sum(len(lst) for lst in graph.left_adjacency())
+        assert total == graph.n_edges
+        total = sum(len(lst) for lst in graph.right_adjacency())
+        assert total == graph.n_edges
+
+
+class TestAverageNodeWeights:
+    def test_simple(self):
+        g = SimilarityGraph.from_edges(
+            2, 2, [(0, 0, 0.4), (0, 1, 0.8), (1, 1, 0.6)]
+        )
+        left_avg, right_avg = g.average_node_weights()
+        assert left_avg[0] == pytest.approx(0.6)
+        assert left_avg[1] == pytest.approx(0.6)
+        assert right_avg[0] == pytest.approx(0.4)
+        assert right_avg[1] == pytest.approx(0.7)
+
+    def test_isolated_node_is_zero(self):
+        g = SimilarityGraph.from_edges(2, 1, [(0, 0, 0.4)])
+        left_avg, _ = g.average_node_weights()
+        assert left_avg[1] == 0.0
+
+
+class TestTransformations:
+    def test_swap_sides(self):
+        g = SimilarityGraph.from_edges(2, 3, [(1, 2, 0.7)])
+        swapped = g.swap_sides()
+        assert swapped.n_left == 3
+        assert swapped.n_right == 2
+        assert list(swapped.edges()) == [(2, 1, 0.7)]
+
+    def test_swap_is_involution(self):
+        g = SimilarityGraph.from_edges(2, 3, [(1, 2, 0.7), (0, 0, 0.3)])
+        double = g.swap_sides().swap_sides()
+        assert sorted(double.edges()) == sorted(g.edges())
+
+    def test_to_dense_roundtrip(self):
+        matrix = np.array([[0.0, 0.4], [0.9, 0.1]])
+        g = SimilarityGraph.from_matrix(matrix)
+        assert np.allclose(g.to_dense(), matrix)
+
+    def test_subgraph_by_edge_indices(self):
+        g = SimilarityGraph.from_edges(
+            2, 2, [(0, 0, 0.5), (0, 1, 0.6), (1, 1, 0.7)]
+        )
+        sub = g.subgraph_by_edge_indices(np.array([0, 2]))
+        assert sorted(sub.edges()) == [(0, 0, 0.5), (1, 1, 0.7)]

@@ -1,0 +1,138 @@
+"""Tests for normalization, statistics and (de)serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import SimilarityGraph, graph_stats, min_max_normalize
+from repro.graph.io import load_graph, save_graph
+from repro.graph.normalize import min_max_normalize_array
+from tests.conftest import similarity_graphs
+
+
+class TestMinMaxNormalize:
+    def test_maps_to_unit_interval(self):
+        values = np.array([2.0, 4.0, 6.0])
+        out = min_max_normalize_array(values)
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_constant_maps_to_ones(self):
+        out = min_max_normalize_array(np.array([3.0, 3.0]))
+        assert out.tolist() == [1.0, 1.0]
+
+    def test_empty(self):
+        out = min_max_normalize_array(np.array([]))
+        assert out.size == 0
+
+    def test_graph_normalization_preserves_structure(self):
+        g = SimilarityGraph.from_edges(2, 2, [(0, 0, 0.2), (1, 1, 0.8)])
+        normalized = min_max_normalize(g)
+        assert normalized.n_left == 2
+        assert np.array_equal(normalized.left, g.left)
+        assert normalized.weight.tolist() == [0.0, 1.0]
+        # The input graph is untouched.
+        assert g.weight.tolist() == [0.2, 0.8]
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_output_always_in_unit_interval(self, values):
+        out = min_max_normalize_array(np.array(values))
+        assert out.min() >= 0.0
+        assert out.max() <= 1.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=2,
+            max_size=50,
+        )
+    )
+    def test_order_preserved(self, values):
+        # Weak monotonicity: scaling can collapse near-equal values
+        # (float underflow) but must never invert an ordering.
+        out = min_max_normalize_array(np.array(values))
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if values[i] <= values[j]:
+                    assert out[i] <= out[j] + 1e-12
+
+
+class TestGraphStats:
+    def test_basic(self):
+        g = SimilarityGraph.from_edges(
+            2, 3, [(0, 0, 0.2), (0, 1, 0.4), (1, 2, 0.9)]
+        )
+        stats = graph_stats(g)
+        assert stats.n_edges == 3
+        assert stats.density == pytest.approx(0.5)
+        assert stats.min_weight == 0.2
+        assert stats.max_weight == 0.9
+        assert stats.mean_weight == pytest.approx(0.5)
+        assert stats.median_weight == pytest.approx(0.4)
+        assert stats.isolated_left == 0
+        assert stats.isolated_right == 0
+        assert stats.normalized_size == stats.density
+
+    def test_isolated_counts(self):
+        g = SimilarityGraph.from_edges(3, 4, [(0, 0, 0.5)])
+        stats = graph_stats(g)
+        assert stats.isolated_left == 2
+        assert stats.isolated_right == 3
+
+    def test_empty_graph(self):
+        g = SimilarityGraph.from_edges(3, 4, [])
+        stats = graph_stats(g)
+        assert stats.n_edges == 0
+        assert stats.mean_weight == 0.0
+        assert stats.isolated_left == 3
+        assert stats.isolated_right == 4
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        g = SimilarityGraph.from_edges(
+            3, 2, [(0, 0, 0.25), (2, 1, 0.75)], name="demo"
+        )
+        g.metadata = {"dataset": "d1", "family": "syntactic"}
+        path = tmp_path / "graph.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.n_left == 3
+        assert loaded.n_right == 2
+        assert loaded.name == "demo"
+        assert loaded.metadata == g.metadata
+        assert sorted(loaded.edges()) == sorted(g.edges())
+
+    def test_roundtrip_empty(self, tmp_path):
+        g = SimilarityGraph.from_edges(0, 0, [])
+        path = tmp_path / "empty.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.n_edges == 0
+
+    def test_creates_parent_directories(self, tmp_path):
+        g = SimilarityGraph.from_edges(1, 1, [(0, 0, 0.5)])
+        path = tmp_path / "deep" / "nested" / "graph.npz"
+        save_graph(g, path)
+        assert path.exists()
+
+    @given(similarity_graphs(max_left=5, max_right=5, max_edges=10))
+    def test_roundtrip_property(self, graph):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "g.npz"
+            save_graph(graph, path)
+            loaded = load_graph(path)
+        assert loaded.n_left == graph.n_left
+        assert loaded.n_right == graph.n_right
+        assert np.array_equal(loaded.weight, graph.weight)

@@ -1,0 +1,75 @@
+"""Replays the paper's Figure 1 walk-through (threshold 0.5).
+
+Figure 1(b): CNC keeps only the valid 2-node partitions (A2,B2), (A3,B4).
+Figure 1(c): weight-maximizing algorithms pair A1-B1 and A5-B3, whose
+             sum 0.6+0.6 beats the single 0.9 edge A5-B1.
+Figure 1(d): the greedy family (UMC, EXC, BMC with basis V2, and in this
+             instance also KRC) pairs A5-B1, A2-B2, A3-B4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import (
+    BestAssignmentHeuristic,
+    BestMatchClustering,
+    ConnectedComponentsClustering,
+    ExactClustering,
+    HungarianMatching,
+    KiralyClustering,
+    UniqueMappingClustering,
+)
+
+T = 0.5
+
+FIGURE_1B = [(1, 1), (2, 3)]
+FIGURE_1C = [(0, 0), (1, 1), (2, 3), (4, 2)]
+FIGURE_1D = [(1, 1), (2, 3), (4, 0)]
+
+
+def test_cnc_figure_1b(fig1):
+    result = ConnectedComponentsClustering().match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1B
+
+
+def test_umc_figure_1d(fig1):
+    result = UniqueMappingClustering().match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1D
+
+
+def test_exc_figure_1d(fig1):
+    result = ExactClustering().match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1D
+
+
+def test_bmc_basis_right_figure_1d(fig1):
+    """The paper: BMC yields Figure 1(d) with V2 (blue) as basis."""
+    result = BestMatchClustering(basis="right").match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1D
+
+
+def test_krc_figure_1d(fig1):
+    result = KiralyClustering().match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1D
+
+
+def test_hungarian_finds_optimal_figure_1c(fig1):
+    result = HungarianMatching().match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1C
+    assert result.total_weight(fig1) == pytest.approx(2.5)
+
+
+def test_bah_reaches_optimal_figure_1c(fig1):
+    """With enough moves, BAH finds the maximum-weight solution."""
+    result = BestAssignmentHeuristic(
+        max_moves=5000, time_limit=10.0, seed=3
+    ).match(fig1, T)
+    assert sorted(result.pairs) == FIGURE_1C
+    assert result.total_weight(fig1) == pytest.approx(2.5)
+
+
+def test_figure_1d_weight_is_suboptimal(fig1):
+    """The greedy outcome weighs 2.2 < 2.5, as the paper discusses."""
+    result = UniqueMappingClustering().match(fig1, T)
+    assert result.total_weight(fig1) == pytest.approx(2.2)

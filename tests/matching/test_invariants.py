@@ -1,0 +1,162 @@
+"""Property-based invariants that every matching algorithm must satisfy.
+
+These correspond to the CCER problem definition of Section 2: every
+output pair is an actual edge of the graph above (or at) the threshold,
+each entity is matched at most once, the input graph is never mutated,
+and runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.matching import create_matcher
+from tests.conftest import (
+    assert_unchanged,
+    assert_valid_result,
+    graph_signature,
+    similarity_graphs,
+    thresholds_strategy,
+)
+
+# CNC and RCA keep pairs with weight >= t (per their pseudocode); the
+# remaining algorithms use a strict comparison.
+INCLUSIVE_THRESHOLD = {"CNC", "RCA"}
+
+ALL_CODES = ["CNC", "RSR", "RCA", "BAH", "BMC", "EXC", "KRC", "UMC", "HUN", "GSM"]
+
+
+def make(code):
+    if code == "BAH":
+        return create_matcher(code, max_moves=500, time_limit=5.0, seed=7)
+    return create_matcher(code)
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=60, deadline=None)
+def test_result_is_valid_matching(code, graph, threshold):
+    matcher = make(code)
+    result = matcher.match(graph, threshold)
+    assert_valid_result(
+        result, graph, threshold, inclusive=code in INCLUSIVE_THRESHOLD
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=30, deadline=None)
+def test_graph_not_mutated(code, graph, threshold):
+    matcher = make(code)
+    signature = graph_signature(graph)
+    matcher.match(graph, threshold)
+    assert_unchanged(graph, signature)
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=30, deadline=None)
+def test_deterministic(code, graph, threshold):
+    first = make(code).match(graph, threshold)
+    second = make(code).match(graph, threshold)
+    assert first.pairs == second.pairs
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_empty_graph_yields_empty_result(code, empty_graph):
+    result = make(code).match(empty_graph, 0.5)
+    assert result.pairs == []
+    assert result.algorithm == code
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_threshold_above_all_weights_yields_empty(code, fig1):
+    result = make(code).match(fig1, 0.95)
+    assert result.pairs == []
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_perfect_graph_recovered(code, perfect_graph):
+    """Every algorithm must solve the unambiguous diagonal instance."""
+    result = make(code).match(perfect_graph, 0.5)
+    assert sorted(result.pairs) == [(0, 0), (1, 1), (2, 2)]
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+@given(graph=similarity_graphs())
+@settings(max_examples=30, deadline=None)
+def test_result_metadata(code, graph):
+    result = make(code).match(graph, 0.3005)
+    assert result.algorithm == code
+    assert result.threshold == 0.3005
+
+
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=60, deadline=None)
+def test_hungarian_dominates_heuristics(graph, threshold):
+    """The exact oracle's matching weight bounds every heuristic's.
+
+    Weights are compared on the strictly-pruned graph, which is what
+    every algorithm except CNC/RCA optimises over; for those two the
+    inclusive pruning can only add weight-equal edges, so the bound
+    still holds for the strict-weight accounting used here.
+    """
+    pruned = graph.prune(threshold)
+    optimal = create_matcher("HUN").match(graph, threshold)
+    best = optimal.total_weight(pruned)
+    for code in ["UMC", "KRC", "EXC", "BMC", "GSM"]:
+        heuristic = create_matcher(code).match(graph, threshold)
+        assert heuristic.total_weight(pruned) <= best + 1e-9
+
+
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=60, deadline=None)
+def test_umc_is_half_approximation(graph, threshold):
+    """Greedy matching is a 1/2-approximation of maximum weight."""
+    pruned = graph.prune(threshold)
+    optimal = create_matcher("HUN").match(graph, threshold)
+    greedy = create_matcher("UMC").match(graph, threshold)
+    assert greedy.total_weight(pruned) >= 0.5 * optimal.total_weight(pruned) - 1e-9
+
+
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=60, deadline=None)
+def test_exc_pairs_are_mutual_best(graph, threshold):
+    """EXC's defining property, checked against raw adjacency."""
+    result = create_matcher("EXC").match(graph, threshold)
+    left_adj = graph.left_adjacency()
+    right_adj = graph.right_adjacency()
+    for i, j in result.pairs:
+        assert left_adj[i][0][0] == j
+        assert right_adj[j][0][0] == i
+
+
+@pytest.mark.parametrize("code", ["KRC", "GSM"])
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=60, deadline=None)
+def test_stable_marriage_weak_stability(code, graph, threshold):
+    """No blocking pair: an edge strictly heavier than both endpoints'
+    current engagements would contradict deferred acceptance."""
+    result = create_matcher(code).match(graph, threshold)
+    left_engaged = {i: j for i, j in result.pairs}
+    right_engaged = {j: i for i, j in result.pairs}
+    weight = {}
+    for i, j, w in graph.edges():
+        weight[(i, j)] = max(weight.get((i, j), 0.0), w)
+
+    def engagement_weight(node, side):
+        if side == "left":
+            partner = left_engaged.get(node)
+            return weight[(node, partner)] if partner is not None else -1.0
+        partner = right_engaged.get(node)
+        return weight[(partner, node)] if partner is not None else -1.0
+
+    for (i, j), w in weight.items():
+        if w <= threshold:
+            continue
+        blocking = (
+            w > engagement_weight(i, "left")
+            and w > engagement_weight(j, "right")
+        )
+        assert not blocking, f"blocking pair {(i, j)} with weight {w}"

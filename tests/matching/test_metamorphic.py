@@ -1,0 +1,136 @@
+"""Metamorphic properties of the matching algorithms.
+
+Beyond per-run invariants, these tests check how outputs transform
+under input transformations the algorithms should (or should not) be
+sensitive to:
+
+* adding edges at or below the threshold never changes the result;
+* swapping the two collections swaps the output of side-symmetric
+  algorithms;
+* a strictly monotone rescaling of the weights (with the threshold
+  rescaled accordingly) leaves rank-based algorithms unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph import SimilarityGraph
+from repro.matching import create_matcher
+from tests.conftest import similarity_graphs, thresholds_strategy
+
+# Algorithms whose behaviour depends only on the weight *ranking*
+# above the threshold (no sums, no randomness).
+RANK_BASED = ["CNC", "BMC", "EXC", "KRC", "UMC", "GSM"]
+
+# Algorithms whose definition is symmetric in the two collections
+# (EXC: mutual best; CNC: components; UMC: global greedy with the only
+# asymmetry in deterministic tie-breaking, avoided via distinct
+# weights).
+SIDE_SYMMETRIC = ["CNC", "EXC", "UMC"]
+
+ALL_DETERMINISTIC = ["CNC", "RSR", "RCA", "BMC", "EXC", "KRC", "UMC", "GSM"]
+
+# Algorithms that prune below-threshold edges *before* any other
+# decision.  RSR is excluded because its seed ordering averages over
+# ALL adjacent edges (Algorithm 1, line 7), and RCA because its
+# assignment passes deliberately consider below-threshold pairs
+# ("any job can be performed by all men") before the final filter —
+# both are legitimately sensitive to edges below the threshold.
+PRUNE_FIRST = ["CNC", "BMC", "EXC", "KRC", "UMC", "GSM"]
+
+
+def _with_distinct_weights(graph: SimilarityGraph) -> SimilarityGraph:
+    """Jitter weights so that no two edges tie (stable, order-keeping)."""
+    if graph.n_edges == 0:
+        return graph
+    order = np.argsort(np.lexsort((graph.right, graph.left)))
+    jitter = (order + 1) * 1e-6
+    weights = np.clip(graph.weight * 0.9 + jitter, 0.0, 1.0)
+    return SimilarityGraph(
+        graph.n_left, graph.n_right, graph.left, graph.right, weights,
+        validate=False,
+    )
+
+
+@pytest.mark.parametrize("code", PRUNE_FIRST)
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=30, deadline=None)
+def test_below_threshold_edges_are_irrelevant(code, graph, threshold):
+    """Adding edges at weights <= threshold must not change anything.
+
+    (CNC and RCA use inclusive comparisons, so the added edges sit
+    strictly below the threshold.)
+    """
+    matcher = create_matcher(code)
+    baseline = matcher.match(graph, threshold)
+
+    extra_weight = round(threshold - 0.0004, 6)
+    if extra_weight <= 0 or graph.n_left == 0 or graph.n_right == 0:
+        return
+    existing = set(zip(graph.left.tolist(), graph.right.tolist()))
+    extra = [
+        (i, j, extra_weight)
+        for i in range(graph.n_left)
+        for j in range(graph.n_right)
+        if (i, j) not in existing
+    ][:5]
+    if not extra:
+        return
+    augmented = SimilarityGraph(
+        graph.n_left,
+        graph.n_right,
+        np.concatenate([graph.left, [e[0] for e in extra]]),
+        np.concatenate([graph.right, [e[1] for e in extra]]),
+        np.concatenate([graph.weight, [e[2] for e in extra]]),
+        validate=False,
+    )
+    assert matcher.match(augmented, threshold).pairs == baseline.pairs
+
+
+@pytest.mark.parametrize("code", SIDE_SYMMETRIC)
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=30, deadline=None)
+def test_side_swap_symmetry(code, graph, threshold):
+    """matching(swap(G)) == swap(matching(G)) for symmetric algorithms."""
+    graph = _with_distinct_weights(graph)
+    matcher = create_matcher(code)
+    direct = matcher.match(graph, threshold)
+    swapped = matcher.match(graph.swap_sides(), threshold)
+    assert sorted((j, i) for i, j in swapped.pairs) == sorted(direct.pairs)
+
+
+@pytest.mark.parametrize("code", RANK_BASED)
+@given(graph=similarity_graphs(), threshold=thresholds_strategy())
+@settings(max_examples=30, deadline=None)
+def test_monotone_rescaling_invariance(code, graph, threshold):
+    """A strictly monotone weight transform preserves the matching.
+
+    Weights and threshold are both mapped through w -> w^2 (strictly
+    increasing on [0, 1]), which preserves every comparison the
+    rank-based algorithms perform.
+    """
+    matcher = create_matcher(code)
+    baseline = matcher.match(graph, threshold)
+    squared = SimilarityGraph(
+        graph.n_left, graph.n_right, graph.left, graph.right,
+        graph.weight**2, validate=False,
+    )
+    transformed = matcher.match(squared, threshold**2)
+    assert transformed.pairs == baseline.pairs
+
+
+@pytest.mark.parametrize("code", ALL_DETERMINISTIC)
+@given(graph=similarity_graphs())
+@settings(max_examples=30, deadline=None)
+def test_zero_threshold_keeps_all_positive_edges_usable(code, graph):
+    """At threshold 0 every positive-weight edge is a candidate: the
+    matching size is bounded by the maximum possible matching size."""
+    matcher = create_matcher(code)
+    result = matcher.match(graph, 0.0)
+    bound = min(
+        len(set(graph.left.tolist())), len(set(graph.right.tolist()))
+    )
+    assert len(result.pairs) <= bound

@@ -1,0 +1,148 @@
+"""Tests for n-gram graph models and graph similarity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ngramgraph import (
+    build_entity_graphs,
+    build_value_graph,
+    containment_matrix,
+    graphs_to_sparse,
+    merge_graphs,
+    normalized_value_matrix,
+    overall_matrix,
+    value_matrix,
+)
+
+value_lists = st.lists(
+    st.lists(st.text(alphabet="abcd ", max_size=10), max_size=3),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestBuildValueGraph:
+    def test_paper_example_shape(self):
+        # "Joe Biden" 3-grams: 'joe' connects to 'oe_' and 'e_b', etc.
+        graph = build_value_graph("Joe Biden", 3, "char")
+        assert ("joe", "oe_") in graph
+        assert ("e_b", "joe") in graph  # sorted tuple order
+        assert graph[("joe", "oe_")] == 1.0
+
+    def test_window_size(self):
+        # grams of "abcd" with n=2: ab, bc, cd; window 2 connects
+        # ab-bc, ab-cd, bc-cd.
+        graph = build_value_graph("abcd", 2, "char")
+        assert set(graph) == {("ab", "bc"), ("ab", "cd"), ("bc", "cd")}
+
+    def test_cooccurrence_accumulates(self):
+        # "ababab" 2-grams: ab,ba,ab,ba,ab; 'ab'-'ba' co-occur often.
+        graph = build_value_graph("ababab", 2, "char")
+        assert graph[("ab", "ba")] > 1.0
+
+    def test_empty_text(self):
+        assert build_value_graph("", 3, "char") == {}
+
+    def test_token_unit(self):
+        graph = build_value_graph("new york city hall", 1, "token")
+        assert ("new", "york") in graph
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            build_value_graph("x", 2, "paragraph")
+
+
+class TestMergeGraphs:
+    def test_running_average(self):
+        g1 = {("a", "b"): 2.0}
+        g2 = {("a", "b"): 1.0, ("b", "c"): 1.0}
+        merged = merge_graphs([g1, g2])
+        assert merged[("a", "b")] == pytest.approx(1.5)
+        assert merged[("b", "c")] == pytest.approx(0.5)
+
+    def test_empty_list(self):
+        assert merge_graphs([]) == {}
+
+    def test_single_graph_copied(self):
+        g = {("a", "b"): 1.0}
+        merged = merge_graphs([g])
+        merged[("a", "b")] = 99.0
+        assert g[("a", "b")] == 1.0
+
+    def test_entity_graphs(self):
+        graphs = build_entity_graphs(
+            [["abc", "abd"], ["xyz"]], n=2, unit="char"
+        )
+        assert len(graphs) == 2
+        assert graphs[1]  # non-empty
+
+
+class TestSparseConversion:
+    def test_shared_edge_vocabulary(self):
+        left = [{("a", "b"): 1.0}]
+        right = [{("a", "b"): 2.0, ("b", "c"): 1.0}]
+        sp_left, sp_right = graphs_to_sparse(left, right)
+        assert sp_left.shape[1] == sp_right.shape[1] == 2
+        assert sp_left.nnz == 1
+        assert sp_right.nnz == 2
+
+
+class TestGraphMeasures:
+    def _sparse_pair(self, texts_left, texts_right, n=2):
+        graphs_left = [build_value_graph(t, n, "char") for t in texts_left]
+        graphs_right = [build_value_graph(t, n, "char") for t in texts_right]
+        return graphs_to_sparse(graphs_left, graphs_right)
+
+    def test_identical_text_scores_one(self):
+        left, right = self._sparse_pair(["abcdef"], ["abcdef"])
+        assert containment_matrix(left, right)[0, 0] == pytest.approx(1.0)
+        assert normalized_value_matrix(left, right)[0, 0] == pytest.approx(1.0)
+        assert overall_matrix(left, right)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_scores_zero(self):
+        left, right = self._sparse_pair(["aaaa"], ["zzzz"])
+        assert containment_matrix(left, right)[0, 0] == 0.0
+        assert value_matrix(left, right)[0, 0] == 0.0
+
+    def test_containment_ignores_weights(self):
+        # Same edge set, different weights: containment stays 1.
+        left = [{("a", "b"): 5.0}]
+        right = [{("a", "b"): 1.0}]
+        sp_left, sp_right = graphs_to_sparse(left, right)
+        assert containment_matrix(sp_left, sp_right)[0, 0] == pytest.approx(1.0)
+        assert value_matrix(sp_left, sp_right)[0, 0] == pytest.approx(0.2)
+
+    def test_value_leq_normalized_value(self):
+        left, right = self._sparse_pair(
+            ["abcabc", "abcd"], ["abc", "dcba"]
+        )
+        vs = value_matrix(left, right)
+        ns = normalized_value_matrix(left, right)
+        assert (vs <= ns + 1e-12).all()
+
+    def test_overall_is_mean(self):
+        left, right = self._sparse_pair(["abcab"], ["abcd"])
+        cos = containment_matrix(left, right)
+        vs = value_matrix(left, right)
+        ns = normalized_value_matrix(left, right)
+        assert np.allclose(overall_matrix(left, right), (cos + vs + ns) / 3)
+
+    @given(value_lists, value_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_measure_ranges(self, lists_left, lists_right):
+        graphs_left = build_entity_graphs(lists_left, 2, "char")
+        graphs_right = build_entity_graphs(lists_right, 2, "char")
+        sp_left, sp_right = graphs_to_sparse(graphs_left, graphs_right)
+        for measure in (
+            containment_matrix,
+            value_matrix,
+            normalized_value_matrix,
+            overall_matrix,
+        ):
+            sims = measure(sp_left, sp_right)
+            assert sims.min() >= 0.0
+            assert sims.max() <= 1.0 + 1e-9

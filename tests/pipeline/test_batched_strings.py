@@ -1,0 +1,135 @@
+"""Differential tests: batched all-pairs measures vs scalar references.
+
+Every batched matrix function must agree with the trusted scalar
+implementation from :mod:`repro.textsim` on all pairs of non-empty
+strings (empty strings follow the builder convention of similarity 0,
+checked separately).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.batched_strings import (
+    TOKEN_MATRIX_MEASURES,
+    damerau_levenshtein_matrix,
+    jaro_matrix,
+    lcs_subsequence_matrix,
+    lcs_substring_matrix,
+    levenshtein_matrix,
+    monge_elkan_matrix,
+    needleman_wunsch_matrix,
+    qgrams_matrix,
+    schema_based_matrix,
+    token_measure_matrix,
+)
+from repro.textsim import (
+    damerau_levenshtein_similarity,
+    jaro_similarity,
+    levenshtein_similarity,
+    longest_common_subsequence_similarity,
+    longest_common_substring_similarity,
+    monge_elkan_similarity,
+    needleman_wunsch_similarity,
+    qgrams_distance_similarity,
+)
+from repro.textsim.registry import TOKEN_MEASURES
+
+BATCHED_VS_SCALAR = [
+    (levenshtein_matrix, levenshtein_similarity),
+    (damerau_levenshtein_matrix, damerau_levenshtein_similarity),
+    (needleman_wunsch_matrix, needleman_wunsch_similarity),
+    (lcs_subsequence_matrix, longest_common_subsequence_similarity),
+    (lcs_substring_matrix, longest_common_substring_similarity),
+    (jaro_matrix, jaro_similarity),
+    (qgrams_matrix, qgrams_distance_similarity),
+    (monge_elkan_matrix, monge_elkan_similarity),
+]
+
+strings = st.lists(
+    st.text(alphabet="abcde _", min_size=1, max_size=12).filter(str.strip),
+    min_size=1,
+    max_size=6,
+)
+
+
+@pytest.mark.parametrize("batched,scalar", BATCHED_VS_SCALAR)
+@given(lefts=strings, rights=strings)
+@settings(max_examples=30, deadline=None)
+def test_batched_matches_scalar(batched, scalar, lefts, rights):
+    from repro.textsim.tokenize import tokens
+
+    matrix = batched(lefts, rights)
+    assert matrix.shape == (len(lefts), len(rights))
+    for i, a in enumerate(lefts):
+        for j, b in enumerate(rights):
+            if batched is monge_elkan_matrix and (
+                not tokens(a) or not tokens(b)
+            ):
+                assert matrix[i, j] == 0.0  # builder convention
+                continue
+            assert matrix[i, j] == pytest.approx(scalar(a, b), abs=1e-9), (
+                f"{batched.__name__} mismatch for {a!r} vs {b!r}"
+            )
+
+
+@pytest.mark.parametrize("measure", TOKEN_MATRIX_MEASURES)
+@given(lefts=strings, rights=strings)
+@settings(max_examples=30, deadline=None)
+def test_token_matrix_matches_scalar(measure, lefts, rights):
+    from repro.textsim.tokenize import tokens
+
+    scalar = TOKEN_MEASURES[measure]
+    matrix = token_measure_matrix(lefts, rights, measure)
+    for i, a in enumerate(lefts):
+        for j, b in enumerate(rights):
+            if not tokens(a) or not tokens(b):
+                # Builder convention: values without tokens carry no
+                # matching evidence (the scalar measures instead treat
+                # two token-less values as identical).
+                assert matrix[i, j] == 0.0
+                continue
+            assert matrix[i, j] == pytest.approx(scalar(a, b), abs=1e-9), (
+                f"{measure} mismatch for {a!r} vs {b!r}"
+            )
+
+
+@pytest.mark.parametrize("batched,_", BATCHED_VS_SCALAR)
+def test_empty_strings_yield_zero(batched, _):
+    matrix = batched(["", "abc"], ["abc", ""])
+    assert matrix[0, 0] == 0.0  # empty left
+    assert matrix[1, 1] == 0.0  # empty right
+    assert matrix[0, 1] == 0.0  # both empty: still no evidence
+
+
+def test_empty_collections():
+    assert levenshtein_matrix([], ["a"]).shape == (0, 1)
+    assert levenshtein_matrix(["a"], []).shape == (1, 0)
+    assert token_measure_matrix([], [], "dice").shape == (0, 0)
+
+
+def test_schema_based_matrix_dispatch():
+    lefts, rights = ["abc"], ["abd"]
+    direct = levenshtein_matrix(lefts, rights)
+    dispatched = schema_based_matrix(lefts, rights, "levenshtein")
+    assert np.allclose(direct, dispatched)
+    token = schema_based_matrix(["a b"], ["b c"], "jaccard")
+    assert token[0, 0] == pytest.approx(1 / 3)
+
+
+def test_schema_based_matrix_unknown_measure():
+    with pytest.raises(KeyError):
+        schema_based_matrix(["a"], ["b"], "soundex")
+
+
+def test_all_sixteen_measures_dispatchable():
+    from repro.textsim.registry import SCHEMA_BASED_MEASURES
+
+    for measure in SCHEMA_BASED_MEASURES:
+        matrix = schema_based_matrix(["golden dragon"], ["golden dragoon"],
+                                     measure)
+        assert matrix.shape == (1, 1)
+        assert 0.0 <= matrix[0, 0] <= 1.0

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def graph_csv(tmp_path):
+    path = tmp_path / "graph.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left", "right", "weight"])
+        writer.writerows(
+            [[0, 0, 0.9], [1, 1, 0.8], [0, 1, 0.3], [2, 2, 0.7]]
+        )
+    return path
+
+
+@pytest.fixture
+def truth_csv(tmp_path):
+    path = tmp_path / "truth.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left", "right"])
+        writer.writerows([[0, 0], [1, 1], [2, 2]])
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_match_defaults(self):
+        args = build_parser().parse_args(["match", "g.csv"])
+        assert args.algorithm == "UMC"
+        assert args.threshold == 0.5
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "g.csv", "-a", "XYZ"])
+
+
+class TestMatchCommand:
+    def test_prints_pairs(self, graph_csv, capsys):
+        exit_code = main(["match", str(graph_csv), "-a", "UMC", "-t", "0.5"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "0,0" in out
+        assert "1,1" in out
+        assert "0,1" not in out  # below-threshold edge
+
+    def test_threshold_filters(self, graph_csv, capsys):
+        main(["match", str(graph_csv), "-t", "0.85"])
+        out = capsys.readouterr().out
+        assert "0,0" in out
+        assert "1,1" not in out
+
+
+class TestGenerateCommand:
+    def test_writes_csvs(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "generate", "d1", "--scale", "0.03",
+                "--out", str(tmp_path / "data"),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "data" / "d1_left.csv").exists()
+        assert (tmp_path / "data" / "d1_right.csv").exists()
+        truth = (tmp_path / "data" / "d1_truth.csv").read_text()
+        assert truth.startswith("left,right")
+
+    def test_generated_files_parse(self, tmp_path):
+        main(["generate", "d2", "--scale", "0.03", "--out", str(tmp_path)])
+        with (tmp_path / "d2_left.csv").open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "id"
+        assert len(rows) > 1
+
+
+class TestSweepCommand:
+    def test_single_algorithm(self, graph_csv, truth_csv, capsys):
+        exit_code = main(
+            ["sweep", str(graph_csv), str(truth_csv), "-a", "UMC"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "UMC" in out
+        assert "F1" in out
+
+    def test_all_algorithms(self, graph_csv, truth_csv, capsys):
+        main(["sweep", str(graph_csv), str(truth_csv)])
+        out = capsys.readouterr().out
+        for code in ("CNC", "RSR", "RCA", "BAH", "BMC", "EXC", "KRC", "UMC"):
+            assert code in out
+
+
+class TestExperimentsCommand:
+    def test_smoke_profile(self, tmp_path, capsys):
+        exit_code = main(
+            ["experiments", "--profile", "smoke", "--cache", str(tmp_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "Nemenyi" in out

@@ -1,0 +1,185 @@
+"""Tests for the n-gram vector models and their similarity measures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vectorspace import (
+    arcs_matrix,
+    build_vector_models,
+    cosine_matrix,
+    generalized_jaccard_matrix,
+    jaccard_matrix,
+    ngram_profiles,
+)
+from repro.vectorspace.measures import pairwise_min_sum
+
+corpus = st.lists(
+    st.text(alphabet="abcde ", min_size=0, max_size=15), min_size=1, max_size=5
+)
+
+
+class TestProfiles:
+    def test_char_profiles(self):
+        profiles = ngram_profiles(["abab"], 2, "char")
+        assert profiles[0] == {"ab": 2, "ba": 1}
+
+    def test_token_profiles(self):
+        profiles = ngram_profiles(["red fox red"], 1, "token")
+        assert profiles[0] == {"red": 2, "fox": 1}
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError):
+            ngram_profiles(["x"], 2, "bytes")
+
+
+class TestVectorModelConstruction:
+    def test_shared_vocabulary(self):
+        left, right = build_vector_models(
+            ["abc"], ["bcd"], n=2, unit="char"
+        )
+        assert left.vocabulary == right.vocabulary
+        assert left.matrix.shape[1] == right.matrix.shape[1]
+
+    def test_tf_weights_normalized(self):
+        left, _ = build_vector_models(["aaab"], ["x"], n=1, unit="char")
+        row = left.matrix.getrow(0).toarray().ravel()
+        # TF of 'a' = 3/4, of 'b' = 1/4.
+        assert sorted(v for v in row if v > 0) == pytest.approx([0.25, 0.75])
+
+    def test_tfidf_downweights_common_grams(self):
+        left, right = build_vector_models(
+            ["ax", "ay", "az"], ["aw"], n=1, unit="char", weighting="tfidf"
+        )
+        vocab = left.vocabulary
+        # 'a' occurs in all 4 entities: idf = log(4/5) < 0 -> clamped to 0.
+        a_col = vocab["a"]
+        assert left.matrix[:, a_col].toarray().max() == 0.0
+        # 'x' occurs once: positive weight.
+        x_col = vocab["x"]
+        assert left.matrix[0, x_col] > 0.0
+
+    def test_invalid_weighting(self):
+        with pytest.raises(ValueError):
+            build_vector_models(["a"], ["b"], n=1, unit="char", weighting="bm25")
+
+    def test_document_frequency_per_collection(self):
+        left, right = build_vector_models(
+            ["ab", "ab"], ["ab"], n=2, unit="char"
+        )
+        col = left.vocabulary["ab"]
+        assert left.document_frequency[col] == 2
+        assert right.document_frequency[col] == 1
+
+    def test_empty_text_gives_zero_row(self):
+        left, _ = build_vector_models(["", "ab"], ["ab"], n=2, unit="char")
+        assert left.matrix.getrow(0).nnz == 0
+
+
+class TestCosine:
+    def test_identical_texts(self):
+        left, right = build_vector_models(["abcd"], ["abcd"], 2, "char")
+        assert cosine_matrix(left, right)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint_texts(self):
+        left, right = build_vector_models(["aaaa"], ["zzzz"], 2, "char")
+        assert cosine_matrix(left, right)[0, 0] == 0.0
+
+    def test_shape(self):
+        left, right = build_vector_models(
+            ["ab", "cd", "ef"], ["ab", "cd"], 2, "char"
+        )
+        assert cosine_matrix(left, right).shape == (3, 2)
+
+    @given(corpus, corpus)
+    @settings(max_examples=25, deadline=None)
+    def test_range(self, texts_left, texts_right):
+        left, right = build_vector_models(texts_left, texts_right, 2, "char")
+        sims = cosine_matrix(left, right)
+        assert sims.min() >= -1e-9
+        assert sims.max() <= 1.0 + 1e-9
+
+
+class TestJaccard:
+    def test_known_value(self):
+        # grams 'ab','bc' vs 'bc','cd': intersection 1, union 3.
+        left, right = build_vector_models(["abc"], ["bcd"], 2, "char")
+        assert jaccard_matrix(left, right)[0, 0] == pytest.approx(1 / 3)
+
+    @given(corpus, corpus)
+    @settings(max_examples=25, deadline=None)
+    def test_range(self, texts_left, texts_right):
+        left, right = build_vector_models(texts_left, texts_right, 2, "char")
+        sims = jaccard_matrix(left, right)
+        assert sims.min() >= 0.0
+        assert sims.max() <= 1.0 + 1e-9
+
+
+class TestGeneralizedJaccard:
+    def test_identical_is_one(self):
+        left, right = build_vector_models(["abab"], ["abab"], 2, "char")
+        assert generalized_jaccard_matrix(left, right)[0, 0] == pytest.approx(
+            1.0
+        )
+
+    def test_matches_bruteforce(self):
+        texts_left = ["abcab", "xyz"]
+        texts_right = ["abc", "xyyz"]
+        left, right = build_vector_models(texts_left, texts_right, 2, "char")
+        sims = generalized_jaccard_matrix(left, right)
+        dense_left = left.matrix.toarray()
+        dense_right = right.matrix.toarray()
+        for i in range(2):
+            for j in range(2):
+                mins = np.minimum(dense_left[i], dense_right[j]).sum()
+                maxs = np.maximum(dense_left[i], dense_right[j]).sum()
+                expected = mins / maxs if maxs > 0 else 0.0
+                assert sims[i, j] == pytest.approx(expected)
+
+    @given(corpus, corpus)
+    @settings(max_examples=25, deadline=None)
+    def test_range(self, texts_left, texts_right):
+        left, right = build_vector_models(texts_left, texts_right, 2, "char")
+        sims = generalized_jaccard_matrix(left, right)
+        assert sims.min() >= 0.0
+        assert sims.max() <= 1.0 + 1e-9
+
+
+class TestPairwiseMinSum:
+    @given(corpus, corpus)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_dense_computation(self, texts_left, texts_right):
+        left, right = build_vector_models(texts_left, texts_right, 2, "char")
+        fast = pairwise_min_sum(left.matrix, right.matrix)
+        dense_left = left.matrix.toarray()
+        dense_right = right.matrix.toarray()
+        slow = np.zeros_like(fast)
+        for i in range(dense_left.shape[0]):
+            for j in range(dense_right.shape[0]):
+                slow[i, j] = np.minimum(dense_left[i], dense_right[j]).sum()
+        assert np.allclose(fast, slow)
+
+
+class TestArcs:
+    def test_rare_grams_score_higher(self):
+        # 'xy' appears once per collection (DF product 1, clamped to 2);
+        # 'ab' appears twice on each side (DF product 4).
+        left, right = build_vector_models(
+            ["xy ab", "ab"], ["xy", "ab", "ab cd"], 1, "token"
+        )
+        sims = arcs_matrix(left, right)
+        # Pair sharing the rare 'xy' outscores the pair sharing 'ab'.
+        assert sims[0, 0] > sims[1, 1]
+
+    def test_no_common_grams_is_zero(self):
+        left, right = build_vector_models(["aa"], ["zz"], 2, "char")
+        assert arcs_matrix(left, right)[0, 0] == 0.0
+
+    def test_non_negative(self):
+        left, right = build_vector_models(
+            ["ab cd", "cd"], ["ab", "cd ef"], 1, "token"
+        )
+        assert arcs_matrix(left, right).min() >= 0.0
