@@ -74,3 +74,65 @@ def test_table6_runtime_report(benchmark, experiment_results):
     assert order[-1] == "BAH"
     # CNC/BMC belong to the fast group.
     assert {"CNC", "BMC"} & set(order[:4])
+
+
+def test_table6_corpus_build_attribution(
+    experiment_results, experiment_config
+):
+    """Where corpus generation spends its time, per dataset and family.
+
+    Uses the per-stage timings recorded in every ``GraphRecord``
+    (artifact builds vs similarity matrices vs graph conversion); the
+    artifact share is the part the shared-artifact engine amortizes
+    across the functions of a group.
+    """
+    from collections import defaultdict
+
+    from conftest import CACHE_DIR
+
+    from repro.pipeline.workbench import generate_corpus
+
+    # experiment_results has already generated + cached this corpus.
+    records = generate_corpus(
+        experiment_config.corpus, cache_dir=CACHE_DIR / "corpus"
+    )
+    assert records
+
+    grouped = defaultdict(list)
+    for record in records:
+        grouped[(record.dataset, record.family)].append(record)
+    rows = []
+    for (dataset, family), members in sorted(
+        grouped.items(), key=lambda kv: (int(kv[0][0][1:]), kv[0][1])
+    ):
+        artifact = sum(r.artifact_seconds for r in members)
+        matrix = sum(r.matrix_seconds for r in members)
+        graph = sum(r.graph_seconds for r in members)
+        total = sum(r.build_seconds for r in members)
+        rows.append(
+            [
+                dataset,
+                family.replace("schema_", ""),
+                len(members),
+                f"{total:.2f}",
+                f"{artifact:.2f}",
+                f"{matrix:.2f}",
+                f"{graph:.2f}",
+            ]
+        )
+    table = render_table(
+        ["ds", "family", "|G|", "total s", "artifacts", "matrix", "graph"],
+        rows,
+        title="Corpus build cost attribution (per-stage seconds)",
+    )
+    save_report("table6_corpus_build_attribution", table)
+
+    for record in records:
+        assert record.build_seconds >= 0.0
+        staged = (
+            record.artifact_seconds
+            + record.matrix_seconds
+            + record.graph_seconds
+        )
+        # The stages partition the build (up to timer resolution).
+        assert staged <= record.build_seconds + 1e-6

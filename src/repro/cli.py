@@ -14,6 +14,10 @@ Four subcommands cover the library's main entry points:
 ``repro experiments``
     Run the cached full protocol and print the headline tables
     (Table 4 and the Figure 2 Nemenyi diagram).
+``repro corpus``
+    Generate (or warm the cache of) the similarity-graph corpus via
+    the shared-artifact engine, optionally over several worker
+    processes, and print the per-stage cost breakdown.
 
 Install exposes the ``repro`` console script; the module also runs as
 ``python -m repro.cli``.
@@ -82,6 +86,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", choices=("default", "smoke"), default="smoke"
     )
     experiments.add_argument("--cache", type=Path, default=None)
+    experiments.add_argument(
+        "--workers", "-j", type=int, default=None,
+        help="worker processes for corpus generation (default: serial)",
+    )
+
+    corpus = commands.add_parser(
+        "corpus", help="generate the similarity-graph corpus"
+    )
+    corpus.add_argument(
+        "--profile", choices=("default", "smoke"), default="smoke"
+    )
+    corpus.add_argument("--cache", type=Path, default=None)
+    corpus.add_argument(
+        "--workers", "-j", type=int, default=None,
+        help="worker processes for corpus generation (default: serial)",
+    )
+    corpus.add_argument(
+        "--progress", action="store_true",
+        help="print every generated graph with its stage timings",
+    )
     return parser
 
 
@@ -206,7 +230,9 @@ def _command_experiments(args: argparse.Namespace) -> int:
     config = (
         DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
     )
-    results = run_experiments(config, cache_dir=args.cache)
+    results = run_experiments(
+        config, cache_dir=args.cache, workers=args.workers
+    )
     rows = [
         [
             row.algorithm,
@@ -237,11 +263,42 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_corpus(args: argparse.Namespace) -> int:
+    from repro.experiments import DEFAULT_BENCH_CONFIG, SMOKE_CONFIG
+    from repro.experiments.config import default_cache_dir
+    from repro.pipeline.workbench import generate_corpus
+
+    config = (
+        DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
+    ).corpus
+    cache = args.cache if args.cache is not None else default_cache_dir()
+    records = generate_corpus(
+        config,
+        cache_dir=cache / "corpus",
+        progress=args.progress,
+        workers=args.workers,
+    )
+    artifact = sum(r.artifact_seconds for r in records)
+    matrix = sum(r.matrix_seconds for r in records)
+    graph = sum(r.graph_seconds for r in records)
+    total = sum(r.build_seconds for r in records)
+    print(
+        f"corpus ready: {len(records)} graphs "
+        f"(key {config.cache_key()}) -> {cache / 'corpus'}"
+    )
+    print(
+        f"build cost {total:.1f}s = {artifact:.1f}s artifacts + "
+        f"{matrix:.1f}s matrices + {graph:.1f}s graphs"
+    )
+    return 0
+
+
 _COMMANDS = {
     "match": _command_match,
     "generate": _command_generate,
     "sweep": _command_sweep,
     "experiments": _command_experiments,
+    "corpus": _command_corpus,
 }
 
 

@@ -56,15 +56,26 @@ class ContextualModel:
         self.window = window
         self.mix = mix
         self.positional_scale = positional_scale
+        self._positional_cache: dict[int, np.ndarray] = {}
 
     def _positional(self, position: int) -> np.ndarray:
-        """Sinusoidal positional encoding (transformer-style)."""
+        """Sinusoidal positional encoding (transformer-style).
+
+        Encodings depend only on the position, so they are memoized —
+        embedding a whole collection revisits the same few positions
+        thousands of times.
+        """
+        cached = self._positional_cache.get(position)
+        if cached is not None:
+            return cached
         indices = np.arange(self.dim)
         angles = position / np.power(
             10_000.0, (2 * (indices // 2)) / self.dim
         )
         encoding = np.where(indices % 2 == 0, np.sin(angles), np.cos(angles))
-        return self.positional_scale * encoding
+        encoding = self.positional_scale * encoding
+        self._positional_cache[position] = encoding
+        return encoding
 
     def embed_tokens(self, text: str) -> np.ndarray:
         """Context-dependent token vectors, one row per token."""

@@ -50,18 +50,37 @@ def euclidean_similarity_matrix(
 def word_mover_similarity_matrix(
     token_matrices_left: list[np.ndarray],
     token_matrices_right: list[np.ndarray],
+    stats_left: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    stats_right: list[tuple[np.ndarray, np.ndarray]] | None = None,
 ) -> np.ndarray:
     """``1 / (1 + RWMD)`` for every pair of token-embedding matrices.
 
     Pairs where exactly one side has no tokens get similarity ``0``
-    (infinite transport cost).
+    (infinite transport cost).  ``stats_*`` optionally supply the
+    per-text ``(squared norms, weights)`` pairs of
+    :func:`repro.embeddings.wmd.token_stats`, hoisting their
+    computation out of the ``n1 x n2`` pair loop.
     """
     n_left = len(token_matrices_left)
     n_right = len(token_matrices_right)
     result = np.zeros((n_left, n_right))
+    no_stats = (None, None)
     for i, tokens_a in enumerate(token_matrices_left):
+        sq_a, weights_a = (
+            stats_left[i] if stats_left is not None else no_stats
+        )
         for j, tokens_b in enumerate(token_matrices_right):
-            distance = relaxed_word_mover_distance(tokens_a, tokens_b)
+            sq_b, weights_b = (
+                stats_right[j] if stats_right is not None else no_stats
+            )
+            distance = relaxed_word_mover_distance(
+                tokens_a,
+                tokens_b,
+                weights_a=weights_a,
+                weights_b=weights_b,
+                sq_a=sq_a,
+                sq_b=sq_b,
+            )
             if np.isinf(distance):
                 result[i, j] = 0.0
             else:

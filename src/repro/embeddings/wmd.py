@@ -14,7 +14,21 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["relaxed_word_mover_distance"]
+__all__ = ["relaxed_word_mover_distance", "token_stats"]
+
+
+def token_stats(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-text RWMD inputs: squared token norms and uniform weights.
+
+    These depend only on the text, not on the pair, so all-pairs
+    callers can compute them once per text and pass them to
+    :func:`relaxed_word_mover_distance` instead of paying for them in
+    every one of the ``n1 x n2`` pair evaluations.
+    """
+    n = matrix.shape[0]
+    squared = np.sum(matrix * matrix, axis=1)
+    weights = np.full(n, 1.0 / n) if n else np.empty(0)
+    return squared, weights
 
 
 def _directional_cost(
@@ -33,6 +47,8 @@ def relaxed_word_mover_distance(
     tokens_b: np.ndarray,
     weights_a: np.ndarray | None = None,
     weights_b: np.ndarray | None = None,
+    sq_a: np.ndarray | None = None,
+    sq_b: np.ndarray | None = None,
 ) -> float:
     """RWMD between two token-embedding matrices.
 
@@ -42,6 +58,9 @@ def relaxed_word_mover_distance(
         ``(k, dim)`` matrices of token vectors.
     weights_a, weights_b:
         Normalized token weights; uniform by default.
+    sq_a, sq_b:
+        Precomputed per-token squared norms (see :func:`token_stats`);
+        computed here by default.
 
     Returns
     -------
@@ -62,8 +81,10 @@ def relaxed_word_mover_distance(
         weights_b = np.full(n_b, 1.0 / n_b)
 
     # Pairwise Euclidean distances via the Gram expansion.
-    sq_a = np.sum(tokens_a * tokens_a, axis=1)
-    sq_b = np.sum(tokens_b * tokens_b, axis=1)
+    if sq_a is None:
+        sq_a = np.sum(tokens_a * tokens_a, axis=1)
+    if sq_b is None:
+        sq_b = np.sum(tokens_b * tokens_b, axis=1)
     squared = sq_a[:, None] + sq_b[None, :] - 2.0 * (tokens_a @ tokens_b.T)
     distance = np.sqrt(np.maximum(squared, 0.0))
 

@@ -59,8 +59,14 @@ def run_experiments(
     config: ExperimentConfig,
     cache_dir: str | Path | None = None,
     progress: bool = False,
+    workers: int | None = None,
 ) -> list[GraphRunResult]:
-    """Execute (or load from cache) the full experimental protocol."""
+    """Execute (or load from cache) the full experimental protocol.
+
+    ``workers`` parallelizes corpus generation (see
+    :func:`repro.pipeline.workbench.generate_corpus`); it has no
+    effect on the results or on any cache key.
+    """
     if cache_dir is None:
         cache_dir = default_cache_dir()
     cache_dir = Path(cache_dir)
@@ -71,7 +77,10 @@ def run_experiments(
         return _load_results(results_path)
 
     corpus = generate_corpus(
-        config.corpus, cache_dir=cache_dir / "corpus", progress=progress
+        config.corpus,
+        cache_dir=cache_dir / "corpus",
+        progress=progress,
+        workers=workers,
     )
     results = [
         _run_graph(record, config, progress) for record in corpus

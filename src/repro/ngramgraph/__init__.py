@@ -14,15 +14,18 @@ use.
 """
 
 from repro.ngramgraph.measures import (
+    common_edge_matrix,
     containment_matrix,
     normalized_value_matrix,
     overall_matrix,
+    pairwise_ratio_sum,
     value_matrix,
 )
 from repro.ngramgraph.model import (
     NGramGraph,
     build_entity_graphs,
     build_value_graph,
+    entity_graph_matrices,
     graphs_to_sparse,
     merge_graphs,
 )
@@ -33,8 +36,11 @@ __all__ = [
     "merge_graphs",
     "build_entity_graphs",
     "graphs_to_sparse",
+    "entity_graph_matrices",
     "containment_matrix",
     "value_matrix",
     "normalized_value_matrix",
     "overall_matrix",
+    "common_edge_matrix",
+    "pairwise_ratio_sum",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "normalized_value_matrix",
     "overall_matrix",
     "pairwise_ratio_sum",
+    "common_edge_matrix",
 ]
 
 
@@ -65,11 +66,26 @@ def pairwise_ratio_sum(
     return result
 
 
-def containment_matrix(
+def common_edge_matrix(
     left: sparse.csr_matrix, right: sparse.csr_matrix
 ) -> np.ndarray:
+    """Number of common edges for every graph pair.
+
+    Shared intermediate of Containment and Overall; all-pairs callers
+    should compute it once per ``(unit, n)`` model (see
+    :class:`repro.pipeline.engine.ArtifactCache`).
+    """
+    return np.asarray((_binary(left) @ _binary(right).T).todense())
+
+
+def containment_matrix(
+    left: sparse.csr_matrix,
+    right: sparse.csr_matrix,
+    common: np.ndarray | None = None,
+) -> np.ndarray:
     """Common-edge fraction relative to the smaller graph."""
-    common = np.asarray((_binary(left) @ _binary(right).T).todense())
+    if common is None:
+        common = common_edge_matrix(left, right)
     sizes_left = _edge_counts(left)
     sizes_right = _edge_counts(right)
     smaller = np.minimum.outer(sizes_left, sizes_right)
@@ -78,31 +94,42 @@ def containment_matrix(
 
 
 def value_matrix(
-    left: sparse.csr_matrix, right: sparse.csr_matrix
+    left: sparse.csr_matrix,
+    right: sparse.csr_matrix,
+    ratio: np.ndarray | None = None,
 ) -> np.ndarray:
     """Weight-aware similarity normalized by the larger graph."""
-    ratio = pairwise_ratio_sum(left, right)
+    if ratio is None:
+        ratio = pairwise_ratio_sum(left, right)
     larger = np.maximum.outer(_edge_counts(left), _edge_counts(right))
     with np.errstate(invalid="ignore", divide="ignore"):
         return np.where(larger > 0, ratio / larger, 0.0)
 
 
 def normalized_value_matrix(
-    left: sparse.csr_matrix, right: sparse.csr_matrix
+    left: sparse.csr_matrix,
+    right: sparse.csr_matrix,
+    ratio: np.ndarray | None = None,
 ) -> np.ndarray:
     """Weight-aware similarity normalized by the smaller graph."""
-    ratio = pairwise_ratio_sum(left, right)
+    if ratio is None:
+        ratio = pairwise_ratio_sum(left, right)
     smaller = np.minimum.outer(_edge_counts(left), _edge_counts(right))
     with np.errstate(invalid="ignore", divide="ignore"):
         return np.where(smaller > 0, ratio / smaller, 0.0)
 
 
 def overall_matrix(
-    left: sparse.csr_matrix, right: sparse.csr_matrix
+    left: sparse.csr_matrix,
+    right: sparse.csr_matrix,
+    ratio: np.ndarray | None = None,
+    common: np.ndarray | None = None,
 ) -> np.ndarray:
     """Average of Containment, Value and Normalized Value."""
-    common = np.asarray((_binary(left) @ _binary(right).T).todense())
-    ratio = pairwise_ratio_sum(left, right)
+    if common is None:
+        common = common_edge_matrix(left, right)
+    if ratio is None:
+        ratio = pairwise_ratio_sum(left, right)
     sizes_left = _edge_counts(left)
     sizes_right = _edge_counts(right)
     smaller = np.minimum.outer(sizes_left, sizes_right)

@@ -24,6 +24,7 @@ __all__ = [
     "merge_graphs",
     "build_entity_graphs",
     "graphs_to_sparse",
+    "entity_graph_matrices",
 ]
 
 # An n-gram graph as a mapping from (sorted) gram pairs to edge weight.
@@ -117,3 +118,21 @@ def graphs_to_sparse(
         )
 
     return assemble(graphs_left), assemble(graphs_right)
+
+
+def entity_graph_matrices(
+    value_lists_left: list[list[str]],
+    value_lists_right: list[list[str]],
+    n: int,
+    unit: str = "char",
+) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    """Sparse entity-graph matrices for two collections in one step.
+
+    Building the per-entity graphs dominates the cost of every graph
+    measure; all four measures of one ``(unit, n)`` model consume the
+    same pair of matrices, so callers should build them once (see
+    :class:`repro.pipeline.engine.ArtifactCache`).
+    """
+    graphs_left = build_entity_graphs(value_lists_left, n, unit)
+    graphs_right = build_entity_graphs(value_lists_right, n, unit)
+    return graphs_to_sparse(graphs_left, graphs_right)

@@ -12,14 +12,22 @@ four families of similarity graphs the paper evaluates:
 No blocking is applied: *all* entity pairs with similarity above zero
 become edges, exactly as in the paper's protocol.  The all-pairs
 computations are vectorized (see :mod:`repro.pipeline.batched_strings`)
-so the protocol stays laptop-feasible.
+and corpus generation shares expensive artifacts across functions (see
+:mod:`repro.pipeline.engine`) so the protocol stays laptop-feasible.
 """
 
+from repro.pipeline.engine import (
+    ArtifactCache,
+    SimilarityEngine,
+    SpecGroup,
+    group_specs,
+)
 from repro.pipeline.graph_builder import matrix_to_graph
 from repro.pipeline.similarity_functions import (
     FAMILIES,
     SimilarityFunctionSpec,
     compute_similarity_matrix,
+    enumerate_function_specs,
     enumerate_functions,
 )
 from repro.pipeline.workbench import (
@@ -32,8 +40,13 @@ __all__ = [
     "FAMILIES",
     "SimilarityFunctionSpec",
     "enumerate_functions",
+    "enumerate_function_specs",
     "compute_similarity_matrix",
     "matrix_to_graph",
+    "ArtifactCache",
+    "SimilarityEngine",
+    "SpecGroup",
+    "group_specs",
     "GraphCorpusConfig",
     "GraphRecord",
     "generate_corpus",

@@ -30,6 +30,7 @@ counterpart in ``tests/pipeline/test_batched_strings.py``.
 from __future__ import annotations
 
 from collections import Counter
+from functools import cached_property
 
 import numpy as np
 from scipy import sparse
@@ -41,6 +42,8 @@ from repro.textsim.tokenize import tokens
 from repro.vectorspace.measures import pairwise_min_sum
 
 __all__ = [
+    "StringBatch",
+    "ALIGNMENT_MEASURES",
     "levenshtein_matrix",
     "damerau_levenshtein_matrix",
     "needleman_wunsch_matrix",
@@ -53,6 +56,73 @@ __all__ = [
     "TOKEN_MATRIX_MEASURES",
     "schema_based_matrix",
 ]
+
+
+class StringBatch:
+    """Shared per-``(lefts, rights)`` artifacts of the 16 measures.
+
+    The alignment measures all consume the same encoded code-point
+    matrix of the right strings; the eight token measures all consume
+    the same sparse token-count matrices; Monge-Elkan consumes the
+    token lists.  A batch computes each artifact lazily on first use
+    and keeps it, so computing several measures over the same value
+    pair (one attribute of one dataset) encodes/tokenizes only once.
+    """
+
+    def __init__(self, lefts: list[str], rights: list[str]) -> None:
+        self.lefts = lefts
+        self.rights = rights
+
+    @cached_property
+    def encoded_rights(self) -> tuple[np.ndarray, np.ndarray]:
+        """Code-point matrix and lengths of the right strings."""
+        return _encode(self.rights)
+
+    @cached_property
+    def empty_mask(self) -> np.ndarray:
+        """True where either side of the pair is empty."""
+        return _empty_mask(self.lefts, self.rights)
+
+    @cached_property
+    def token_lists(self) -> tuple[list[list[str]], list[list[str]]]:
+        """Tokenized strings of both sides."""
+        return (
+            [tokens(s) for s in self.lefts],
+            [tokens(s) for s in self.rights],
+        )
+
+    @cached_property
+    def token_sparse(self) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """Sparse token-count matrices over a shared vocabulary."""
+        lists_left, lists_right = self.token_lists
+        return _profiles_to_sparse(
+            [Counter(words) for words in lists_left],
+            [Counter(words) for words in lists_right],
+        )
+
+    @cached_property
+    def token_binary(self) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """Binary (presence) versions of :attr:`token_sparse`."""
+        matrix_left, matrix_right = self.token_sparse
+        binary_left = matrix_left.copy()
+        binary_left.data = np.ones_like(binary_left.data)
+        binary_right = matrix_right.copy()
+        binary_right.data = np.ones_like(binary_right.data)
+        return binary_left, binary_right
+
+    @cached_property
+    def token_sums(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(bag_left, bag_right, set_left, set_right)`` row sums."""
+        matrix_left, matrix_right = self.token_sparse
+        binary_left, binary_right = self.token_binary
+        return (
+            matrix_left.sum(axis=1).A1,
+            matrix_right.sum(axis=1).A1,
+            binary_left.sum(axis=1).A1,
+            binary_right.sum(axis=1).A1,
+        )
 
 
 def _encode(strings: list[str]) -> tuple[np.ndarray, np.ndarray]:
@@ -86,26 +156,37 @@ def _scan_min(row: np.ndarray, step: float) -> np.ndarray:
     return shifted + offsets
 
 
-def levenshtein_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+def levenshtein_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
     """All-pairs normalized Levenshtein similarity."""
-    return _edit_distance_matrix(lefts, rights, transpositions=False)
+    return _edit_distance_matrix(lefts, rights, False, batch)
 
 
 def damerau_levenshtein_matrix(
-    lefts: list[str], rights: list[str]
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
 ) -> np.ndarray:
     """All-pairs normalized Damerau-Levenshtein (OSA) similarity."""
-    return _edit_distance_matrix(lefts, rights, transpositions=True)
+    return _edit_distance_matrix(lefts, rights, True, batch)
 
 
 def _edit_distance_matrix(
-    lefts: list[str], rights: list[str], transpositions: bool
+    lefts: list[str],
+    rights: list[str],
+    transpositions: bool,
+    batch: StringBatch | None = None,
 ) -> np.ndarray:
+    if batch is None:
+        batch = StringBatch(lefts, rights)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
         return result
-    codes, lengths = _encode(rights)
+    codes, lengths = batch.encoded_rights
     max_len = codes.shape[1]
     base_row = np.arange(max_len + 1, dtype=np.float64)
     take = lengths[:, None]  # per-right-string final DP column
@@ -140,7 +221,7 @@ def _edit_distance_matrix(
         longest = np.maximum(len(text), lengths)
         with np.errstate(invalid="ignore", divide="ignore"):
             result[i] = np.where(longest > 0, 1.0 - distances / longest, 0.0)
-    result[_empty_mask(lefts, rights)] = 0.0
+    result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
@@ -148,14 +229,18 @@ _NW_GAP = 2.0
 
 
 def needleman_wunsch_matrix(
-    lefts: list[str], rights: list[str]
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
 ) -> np.ndarray:
     """All-pairs Needleman-Wunsch similarity (mismatch 1, gap 2)."""
+    if batch is None:
+        batch = StringBatch(lefts, rights)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
         return result
-    codes, lengths = _encode(rights)
+    codes, lengths = batch.encoded_rights
     max_len = codes.shape[1]
     base_row = _NW_GAP * np.arange(max_len + 1, dtype=np.float64)
     take = lengths[:, None]
@@ -180,19 +265,23 @@ def needleman_wunsch_matrix(
             result[i] = np.where(
                 longest > 0, 1.0 - costs / (_NW_GAP * longest), 0.0
             )
-    result[_empty_mask(lefts, rights)] = 0.0
+    result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
 def lcs_subsequence_matrix(
-    lefts: list[str], rights: list[str]
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
 ) -> np.ndarray:
     """All-pairs longest-common-subsequence similarity."""
+    if batch is None:
+        batch = StringBatch(lefts, rights)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
         return result
-    codes, lengths = _encode(rights)
+    codes, lengths = batch.encoded_rights
     max_len = codes.shape[1]
     take = lengths[:, None]
 
@@ -213,17 +302,23 @@ def lcs_subsequence_matrix(
         longest = np.maximum(len(text), lengths)
         with np.errstate(invalid="ignore", divide="ignore"):
             result[i] = np.where(longest > 0, lcs / longest, 0.0)
-    result[_empty_mask(lefts, rights)] = 0.0
+    result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
-def lcs_substring_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+def lcs_substring_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
     """All-pairs longest-common-substring similarity."""
+    if batch is None:
+        batch = StringBatch(lefts, rights)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
         return result
-    codes, lengths = _encode(rights)
+    codes, lengths = batch.encoded_rights
     max_len = codes.shape[1]
 
     for i, text in enumerate(lefts):
@@ -240,11 +335,15 @@ def lcs_substring_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
         longest = np.maximum(len(text), lengths)
         with np.errstate(invalid="ignore", divide="ignore"):
             result[i] = np.where(longest > 0, best / longest, 0.0)
-    result[_empty_mask(lefts, rights)] = 0.0
+    result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
-def jaro_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+def jaro_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
     """All-pairs Jaro similarity (per-pair; O(len) each)."""
     result = np.zeros((len(lefts), len(rights)))
     for i, a in enumerate(lefts):
@@ -256,8 +355,14 @@ def jaro_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
     return result
 
 
-def qgrams_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+def qgrams_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
     """All-pairs q-grams distance similarity via sparse profiles."""
+    if batch is None:
+        batch = StringBatch(lefts, rights)
     n_left, n_right = len(lefts), len(rights)
     if n_left == 0 or n_right == 0:
         return np.zeros((n_left, n_right))
@@ -273,14 +378,19 @@ def qgrams_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
     # block distance = total - 2*min; similarity = 1 - distance/total.
     with np.errstate(invalid="ignore", divide="ignore"):
         result = np.where(total > 0, 2.0 * minimum / total, 0.0)
-    result[_empty_mask(lefts, rights)] = 0.0
+    result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
-def monge_elkan_matrix(lefts: list[str], rights: list[str]) -> np.ndarray:
+def monge_elkan_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
     """All-pairs Monge-Elkan with memoized Smith-Waterman scores."""
-    token_lists_left = [tokens(s) for s in lefts]
-    token_lists_right = [tokens(s) for s in rights]
+    if batch is None:
+        batch = StringBatch(lefts, rights)
+    token_lists_left, token_lists_right = batch.token_lists
     cache: dict[tuple[str, str], float] = {}
 
     def sw(a: str, b: str) -> float:
@@ -332,12 +442,11 @@ def _profiles_to_sparse(
     return assemble(profiles_left), assemble(profiles_right)
 
 
-def _token_counts(strings: list[str]) -> list[Counter]:
-    return [Counter(tokens(s)) for s in strings]
-
-
 def token_measure_matrix(
-    lefts: list[str], rights: list[str], measure: str
+    lefts: list[str],
+    rights: list[str],
+    measure: str,
+    batch: StringBatch | None = None,
 ) -> np.ndarray:
     """All-pairs token measure over sparse token-count vectors.
 
@@ -346,20 +455,14 @@ def token_measure_matrix(
     if measure not in TOKEN_MATRIX_MEASURES:
         known = ", ".join(sorted(TOKEN_MATRIX_MEASURES))
         raise KeyError(f"unknown token measure {measure!r}; known: {known}")
+    if batch is None:
+        batch = StringBatch(lefts, rights)
     n_left, n_right = len(lefts), len(rights)
     if n_left == 0 or n_right == 0:
         return np.zeros((n_left, n_right))
-    counts_left, counts_right = _token_counts(lefts), _token_counts(rights)
-    matrix_left, matrix_right = _profiles_to_sparse(counts_left, counts_right)
-    binary_left = matrix_left.copy()
-    binary_left.data = np.ones_like(binary_left.data)
-    binary_right = matrix_right.copy()
-    binary_right.data = np.ones_like(binary_right.data)
-
-    bag_left = matrix_left.sum(axis=1).A1
-    bag_right = matrix_right.sum(axis=1).A1
-    set_left = binary_left.sum(axis=1).A1
-    set_right = binary_right.sum(axis=1).A1
+    matrix_left, matrix_right = batch.token_sparse
+    binary_left, binary_right = batch.token_binary
+    bag_left, bag_right, set_left, set_right = batch.token_sums
 
     with np.errstate(invalid="ignore", divide="ignore"):
         if measure == "cosine_tokens":
@@ -403,7 +506,7 @@ def token_measure_matrix(
             maximum = bag_left[:, None] + bag_right[None, :] - minimum
             result = np.where(maximum > 0, minimum / maximum, 0.0)
 
-    result[_empty_mask(lefts, rights)] = 0.0
+    result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
@@ -419,6 +522,15 @@ TOKEN_MATRIX_MEASURES = (
     "generalized_jaccard",
 )
 
+#: Measures whose DP shares the encoded right-string matrix.
+ALIGNMENT_MEASURES = (
+    "levenshtein",
+    "damerau_levenshtein",
+    "needleman_wunsch",
+    "lcs_subsequence",
+    "lcs_substring",
+)
+
 _MATRIX_FUNCTIONS = {
     "levenshtein": levenshtein_matrix,
     "damerau_levenshtein": damerau_levenshtein_matrix,
@@ -432,10 +544,17 @@ _MATRIX_FUNCTIONS = {
 
 
 def schema_based_matrix(
-    lefts: list[str], rights: list[str], measure: str
+    lefts: list[str],
+    rights: list[str],
+    measure: str,
+    batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs matrix for any of the 16 schema-based measures."""
+    """All-pairs matrix for any of the 16 schema-based measures.
+
+    ``batch`` optionally shares the encoded/tokenized artifacts across
+    measures computed over the same value lists.
+    """
     function = _MATRIX_FUNCTIONS.get(measure)
     if function is not None:
-        return function(lefts, rights)
-    return token_measure_matrix(lefts, rights, measure)
+        return function(lefts, rights, batch)
+    return token_measure_matrix(lefts, rights, measure, batch)

@@ -1,0 +1,442 @@
+"""Shared-artifact similarity engine.
+
+The corpus workbench computes one all-pairs similarity matrix per
+similarity function of the Section-4 taxonomy.  Naively each function
+rebuilds every intermediate it needs — yet most intermediates are
+shared by whole groups of functions:
+
+* the 16 schema-based string measures of one attribute share the
+  encoded code-point matrix (5 alignment measures) and the sparse
+  token-count matrices (8 token measures) of that attribute's values;
+* the 6 vector measures of one ``(unit, n)`` n-gram model share the
+  n-gram profiles and vocabulary/DF statistics, and split into only
+  two distinct :class:`~repro.vectorspace.VectorModel` weightings
+  (``tf``/``tfidf``);
+* the 4 graph measures of one ``(unit, n)`` model share the sparse
+  entity n-gram graphs, whose construction dominates their cost;
+* the 3 semantic measures of one ``(model, text-source)`` combination
+  share the embedding model instance (and its token cache) plus the
+  text/token embeddings.
+
+:class:`ArtifactCache` memoizes these intermediates per dataset;
+:class:`SimilarityEngine` computes matrices through the cache and is
+**bit-identical** to the direct
+:func:`~repro.pipeline.similarity_functions.compute_similarity_matrix`
+path (the differential tests in ``tests/pipeline/test_engine.py``
+assert exact equality for every family).
+
+Cache keys and invalidation
+---------------------------
+Keys are flat tuples — ``("vector_model", unit, n, weighting)``,
+``("entity_graphs", unit, n)``, ``("string_batch", attribute)``,
+``("semantic_model", name)``, ``("text_embeddings", model, attribute)``
+(``attribute is None`` marks the schema-agnostic text source) — so the
+cache-hit tests can assert every key is built exactly once.  The cache
+holds derived state of one *generated* dataset only; anything that
+changes the generated data (dataset code, ``scale``, ``max_pairs``,
+``seed``, noise configuration) must create a fresh
+:class:`ArtifactCache`, which the workbench does by constructing one
+engine per dataset per corpus run.  Nothing is persisted: the
+persistent layer is the graph corpus cache keyed by
+``GraphCorpusConfig.cache_key()``.
+
+Parallelism
+-----------
+:func:`group_specs` partitions a spec list into contiguous
+artifact-sharing groups.  The workbench farms these groups out to a
+``concurrent.futures.ProcessPoolExecutor`` when its ``workers`` knob
+(``GraphCorpusConfig.workers``, ``generate_corpus(..., workers=N)``,
+``repro corpus --workers N``) exceeds one.  Workers recreate the
+dataset deterministically from its spec, so only the config and the
+specs cross the process boundary; ``workers`` never changes results or
+cache keys — it only changes wall-clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.generator import CleanCleanDataset
+from repro.ngramgraph import (
+    common_edge_matrix,
+    entity_graph_matrices,
+    pairwise_ratio_sum,
+)
+from repro.pipeline.batched_strings import (
+    ALIGNMENT_MEASURES,
+    TOKEN_MATRIX_MEASURES,
+    StringBatch,
+    schema_based_matrix,
+)
+from repro.pipeline.similarity_functions import (
+    SimilarityFunctionSpec,
+    graph_measure_matrix,
+    make_semantic_model,
+    semantic_matrix_from_embeddings,
+    vector_measure_matrix,
+    weighting_for_measure,
+)
+from repro.vectorspace import build_profile_space, build_vector_models
+
+__all__ = [
+    "ArtifactCache",
+    "SimilarityEngine",
+    "SpecGroup",
+    "group_key",
+    "group_specs",
+]
+
+
+class ArtifactCache:
+    """Memoized expensive intermediates of one generated dataset.
+
+    Every artifact is built at most once per key (see the module
+    docstring for the key vocabulary).  ``build_counts`` and
+    ``build_seconds`` record each miss for the cache-hit tests and the
+    per-stage timing attribution; ``miss_seconds`` is the running total
+    of time spent building artifacts, which
+    :meth:`SimilarityEngine.compute_timed` samples around a matrix
+    computation to split artifact cost from measure cost.
+    """
+
+    def __init__(self, dataset: CleanCleanDataset) -> None:
+        self.dataset = dataset
+        self._store: dict[tuple, object] = {}
+        self.build_counts: Counter[tuple] = Counter()
+        self.build_seconds: dict[tuple, float] = {}
+        self._miss_seconds = 0.0
+
+    @property
+    def miss_seconds(self) -> float:
+        """Total seconds spent building artifacts so far."""
+        return self._miss_seconds
+
+    def get(self, key: tuple, builder):
+        """The artifact under ``key``, building it on first access."""
+        try:
+            return self._store[key]
+        except KeyError:
+            pass
+        start = time.perf_counter()
+        value = builder()
+        elapsed = time.perf_counter() - start
+        self._store[key] = value
+        self.build_counts[key] += 1
+        self.build_seconds[key] = (
+            self.build_seconds.get(key, 0.0) + elapsed
+        )
+        self._miss_seconds += elapsed
+        return value
+
+    # ---------------------------------------------------------- inputs
+    def attribute_values(self, attribute: str) -> tuple[list[str], list[str]]:
+        return self.get(
+            ("values", attribute),
+            lambda: (
+                self.dataset.left.attribute_values(attribute),
+                self.dataset.right.attribute_values(attribute),
+            ),
+        )
+
+    def texts(self) -> tuple[list[str], list[str]]:
+        return self.get(
+            ("texts",),
+            lambda: (self.dataset.left.texts(), self.dataset.right.texts()),
+        )
+
+    def _source(self, attribute: str | None) -> tuple[list[str], list[str]]:
+        """Strings of a text source: an attribute or the full texts."""
+        if attribute is None:
+            return self.texts()
+        return self.attribute_values(attribute)
+
+    # ---------------------------------------------- schema-based batch
+    def string_batch(self, attribute: str) -> StringBatch:
+        lefts, rights = self.attribute_values(attribute)
+        return self.get(
+            ("string_batch", attribute), lambda: StringBatch(lefts, rights)
+        )
+
+    # -------------------------------------------------- vector models
+    def profile_space(self, unit: str, n: int):
+        texts_left, texts_right = self.texts()
+        return self.get(
+            ("profile_space", unit, n),
+            lambda: build_profile_space(texts_left, texts_right, n, unit),
+        )
+
+    def vector_models(self, unit: str, n: int, weighting: str):
+        space = self.profile_space(unit, n)
+        texts_left, texts_right = self.texts()
+        return self.get(
+            ("vector_model", unit, n, weighting),
+            lambda: build_vector_models(
+                texts_left,
+                texts_right,
+                n=n,
+                unit=unit,
+                weighting=weighting,
+                space=space,
+            ),
+        )
+
+    # --------------------------------------------------- n-gram graphs
+    def value_lists(self) -> tuple[list[list[str]], list[list[str]]]:
+        return self.get(
+            ("value_lists",),
+            lambda: (
+                self.dataset.left.value_lists(),
+                self.dataset.right.value_lists(),
+            ),
+        )
+
+    def entity_graphs(self, unit: str, n: int):
+        lists_left, lists_right = self.value_lists()
+        return self.get(
+            ("entity_graphs", unit, n),
+            lambda: entity_graph_matrices(
+                lists_left, lists_right, n=n, unit=unit
+            ),
+        )
+
+    def graph_ratio_sums(self, unit: str, n: int) -> np.ndarray:
+        """Pairwise ratio sums shared by Value/NormValue/Overall."""
+        sparse_left, sparse_right = self.entity_graphs(unit, n)
+        return self.get(
+            ("graph_ratio", unit, n),
+            lambda: pairwise_ratio_sum(sparse_left, sparse_right),
+        )
+
+    def graph_common_edges(self, unit: str, n: int) -> np.ndarray:
+        """Common-edge counts shared by Containment/Overall."""
+        sparse_left, sparse_right = self.entity_graphs(unit, n)
+        return self.get(
+            ("graph_common", unit, n),
+            lambda: common_edge_matrix(sparse_left, sparse_right),
+        )
+
+    # ------------------------------------------------ semantic models
+    def semantic_model(self, name: str):
+        return self.get(
+            ("semantic_model", name), lambda: make_semantic_model(name)
+        )
+
+    def text_embeddings(
+        self, model_name: str, attribute: str | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked text embeddings, derived from the token embeddings.
+
+        ``embed_text`` is exactly the row mean of ``embed_tokens`` (the
+        zero vector for token-less texts), so pooling the cached token
+        matrices is bit-identical to calling ``embed_texts`` — and one
+        token-embedding pass serves all three semantic measures.
+        """
+        model = self.semantic_model(model_name)
+        token_left, token_right = self.token_embeddings(
+            model_name, attribute
+        )
+        return self.get(
+            ("text_embeddings", model_name, attribute),
+            lambda: (
+                _pool_token_embeddings(token_left, model.dim),
+                _pool_token_embeddings(token_right, model.dim),
+            ),
+        )
+
+    def token_embeddings(
+        self, model_name: str, attribute: str | None
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        model = self.semantic_model(model_name)
+        lefts, rights = self._source(attribute)
+        return self.get(
+            ("token_embeddings", model_name, attribute),
+            lambda: (
+                [model.embed_tokens(text) for text in lefts],
+                [model.embed_tokens(text) for text in rights],
+            ),
+        )
+
+    def wmd_stats(self, model_name: str, attribute: str | None):
+        """Per-text RWMD statistics (squared norms and weights)."""
+        from repro.embeddings.wmd import token_stats
+
+        token_left, token_right = self.token_embeddings(
+            model_name, attribute
+        )
+        return self.get(
+            ("wmd_stats", model_name, attribute),
+            lambda: (
+                [token_stats(matrix) for matrix in token_left],
+                [token_stats(matrix) for matrix in token_right],
+            ),
+        )
+
+
+def _pool_token_embeddings(
+    token_matrices: list[np.ndarray], dim: int
+) -> np.ndarray:
+    """Mean-pool per-text token matrices into stacked text embeddings."""
+    return np.vstack(
+        [
+            matrix.mean(axis=0) if matrix.shape[0] else np.zeros(dim)
+            for matrix in token_matrices
+        ]
+    )
+
+
+class SimilarityEngine:
+    """Computes similarity matrices through an :class:`ArtifactCache`.
+
+    Produces bit-identical results to
+    :func:`~repro.pipeline.similarity_functions.compute_similarity_matrix`
+    — same kernels, same inputs — while building every shared artifact
+    once.
+    """
+
+    def __init__(
+        self,
+        dataset: CleanCleanDataset,
+        cache: ArtifactCache | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.cache = cache if cache is not None else ArtifactCache(dataset)
+
+    def compute(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        """The all-pairs similarity matrix of ``spec``."""
+        matrix, _, _ = self.compute_timed(spec)
+        return matrix
+
+    def compute_timed(
+        self, spec: SimilarityFunctionSpec
+    ) -> tuple[np.ndarray, float, float]:
+        """``(matrix, artifact_seconds, matrix_seconds)`` for ``spec``.
+
+        ``artifact_seconds`` is the time spent building cache-missed
+        artifacts during this call (zero on a fully warm cache);
+        ``matrix_seconds`` is the remainder of the wall-clock.
+        """
+        before = self.cache.miss_seconds
+        start = time.perf_counter()
+        matrix = self._dispatch(spec)
+        total = time.perf_counter() - start
+        artifact_seconds = self.cache.miss_seconds - before
+        return matrix, artifact_seconds, max(total - artifact_seconds, 0.0)
+
+    def _dispatch(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        if spec.family == "schema_based_syntactic":
+            return self._schema_based(spec)
+        if spec.family == "schema_agnostic_syntactic":
+            if spec.details["model"] == "vector":
+                return self._vector(spec)
+            return self._graph(spec)
+        if spec.family == "schema_based_semantic":
+            return self._semantic(spec, spec.details["attribute"])
+        return self._semantic(spec, None)
+
+    def _schema_based(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        attribute = spec.details["attribute"]
+        measure = spec.details["measure"]
+        batch = self.cache.string_batch(attribute)
+        # Materialize the measure's shared artifacts under the cache
+        # clock so their cost is attributed to the artifact stage (the
+        # batch builds them lazily either way).
+        if measure in ALIGNMENT_MEASURES:
+            self.cache.get(
+                ("string_encoded", attribute), lambda: batch.encoded_rights
+            )
+        elif measure in TOKEN_MATRIX_MEASURES:
+            self.cache.get(
+                ("string_tokens", attribute), lambda: batch.token_sparse
+            )
+        elif measure == "monge_elkan":
+            self.cache.get(
+                ("string_token_lists", attribute), lambda: batch.token_lists
+            )
+        return schema_based_matrix(batch.lefts, batch.rights, measure, batch)
+
+    def _vector(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        measure = spec.details["measure"]
+        left, right = self.cache.vector_models(
+            spec.details["unit"],
+            spec.details["n"],
+            weighting_for_measure(measure),
+        )
+        return vector_measure_matrix(left, right, measure)
+
+    def _graph(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        unit, n = spec.details["unit"], spec.details["n"]
+        measure = spec.details["measure"]
+        sparse_left, sparse_right = self.cache.entity_graphs(unit, n)
+        ratio = common = None
+        if measure in ("value", "normalized_value", "overall"):
+            ratio = self.cache.graph_ratio_sums(unit, n)
+        if measure in ("containment", "overall"):
+            common = self.cache.graph_common_edges(unit, n)
+        return graph_measure_matrix(
+            sparse_left, sparse_right, measure, ratio=ratio, common=common
+        )
+
+    def _semantic(
+        self, spec: SimilarityFunctionSpec, attribute: str | None
+    ) -> np.ndarray:
+        model_name = spec.details["model"]
+        measure = spec.details["measure"]
+        lefts, rights = self.cache._source(attribute)
+        wmd_stats = None
+        if measure == "wmd":
+            embeddings = self.cache.token_embeddings(model_name, attribute)
+            wmd_stats = self.cache.wmd_stats(model_name, attribute)
+        else:
+            embeddings = self.cache.text_embeddings(model_name, attribute)
+        return semantic_matrix_from_embeddings(
+            lefts,
+            rights,
+            measure,
+            embeddings[0],
+            embeddings[1],
+            wmd_stats=wmd_stats,
+        )
+
+
+@dataclass(frozen=True)
+class SpecGroup:
+    """A contiguous run of specs sharing their expensive artifacts."""
+
+    key: tuple
+    specs: tuple[SimilarityFunctionSpec, ...]
+
+
+def group_key(spec: SimilarityFunctionSpec) -> tuple:
+    """The artifact-sharing group a spec belongs to."""
+    if spec.family == "schema_based_syntactic":
+        return ("schema_based", spec.details["attribute"])
+    if spec.family == "schema_agnostic_syntactic":
+        return (
+            spec.details["model"],
+            spec.details["unit"],
+            spec.details["n"],
+        )
+    if spec.family == "schema_based_semantic":
+        return ("semantic", spec.details["model"], spec.details["attribute"])
+    return ("semantic", spec.details["model"], None)
+
+
+def group_specs(specs: list[SimilarityFunctionSpec]) -> list[SpecGroup]:
+    """Partition ``specs`` into artifact-sharing groups.
+
+    Groups keep first-seen key order and specs keep their relative
+    order; because :func:`enumerate_function_specs` emits each group's
+    specs contiguously, concatenating the groups reproduces the input
+    order exactly — the corpus is invariant under grouping.
+    """
+    ordered: dict[tuple, list[SimilarityFunctionSpec]] = {}
+    for spec in specs:
+        ordered.setdefault(group_key(spec), []).append(spec)
+    return [
+        SpecGroup(key=key, specs=tuple(members))
+        for key, members in ordered.items()
+    ]

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.datasets.generator import CleanCleanDataset
+from repro.datasets.generator import CleanCleanDataset, DatasetSpec
 from repro.embeddings import (
     ContextualModel,
     FastTextLikeModel,
@@ -33,9 +33,8 @@ from repro.embeddings import (
     word_mover_similarity_matrix,
 )
 from repro.ngramgraph import (
-    build_entity_graphs,
     containment_matrix,
-    graphs_to_sparse,
+    entity_graph_matrices,
     normalized_value_matrix,
     overall_matrix,
     value_matrix,
@@ -54,7 +53,13 @@ __all__ = [
     "FAMILIES",
     "SimilarityFunctionSpec",
     "enumerate_functions",
+    "enumerate_function_specs",
     "compute_similarity_matrix",
+    "vector_measure_matrix",
+    "graph_measure_matrix",
+    "semantic_matrix_from_embeddings",
+    "make_semantic_model",
+    "weighting_for_measure",
 ]
 
 #: The paper's four input families.
@@ -134,17 +139,44 @@ def enumerate_functions(
     semantic_measures: tuple[str, ...] = SEMANTIC_MEASURES,
     max_attributes: int | None = None,
 ) -> list[SimilarityFunctionSpec]:
-    """All similarity-function specs applicable to ``dataset``.
+    """All similarity-function specs applicable to ``dataset``."""
+    return enumerate_function_specs(
+        dataset.spec,
+        families=families,
+        schema_based_measures=schema_based_measures,
+        ngram_models=ngram_models,
+        vector_measures=vector_measures,
+        graph_measures=graph_measures,
+        semantic_models=semantic_models,
+        semantic_measures=semantic_measures,
+        max_attributes=max_attributes,
+    )
+
+
+def enumerate_function_specs(
+    dataset_spec: DatasetSpec,
+    families: tuple[str, ...] = FAMILIES,
+    schema_based_measures: tuple[str, ...] | None = None,
+    ngram_models: tuple[tuple[str, int], ...] = NGRAM_MODELS,
+    vector_measures: tuple[str, ...] = VECTOR_MEASURES,
+    graph_measures: tuple[str, ...] = GRAPH_MEASURES,
+    semantic_models: tuple[str, ...] = SEMANTIC_MODELS,
+    semantic_measures: tuple[str, ...] = SEMANTIC_MEASURES,
+    max_attributes: int | None = None,
+) -> list[SimilarityFunctionSpec]:
+    """All similarity-function specs applicable to ``dataset_spec``.
 
     The schema-based families iterate the dataset's high-coverage
     attributes (``spec.schema_attributes``), exactly as the paper
     restricts schema-based settings to such attributes;
     ``max_attributes`` truncates that list for reduced-size corpora.
+    Only the blueprint is needed (not the generated data), which lets
+    the workbench plan work before — and without — generating datasets.
     """
     if schema_based_measures is None:
         schema_based_measures = tuple(SCHEMA_BASED_MEASURES)
     specs: list[SimilarityFunctionSpec] = []
-    attributes = dataset.spec.schema_attributes
+    attributes = dataset_spec.schema_attributes
     if max_attributes is not None:
         attributes = attributes[:max_attributes]
 
@@ -220,7 +252,13 @@ def enumerate_functions(
 def compute_similarity_matrix(
     dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
 ) -> np.ndarray:
-    """The all-pairs similarity matrix of ``spec`` on ``dataset``."""
+    """The all-pairs similarity matrix of ``spec`` on ``dataset``.
+
+    This is the *direct* path: every artifact (string encodings,
+    vector/graph models, embeddings) is built from scratch.  The
+    engine path (:class:`repro.pipeline.engine.SimilarityEngine`)
+    shares artifacts across specs and produces bit-identical matrices.
+    """
     if spec.family == "schema_based_syntactic":
         lefts = dataset.left.attribute_values(spec.details["attribute"])
         rights = dataset.right.attribute_values(spec.details["attribute"])
@@ -238,18 +276,13 @@ def compute_similarity_matrix(
     return _semantic_matrix(dataset.left.texts(), dataset.right.texts(), spec)
 
 
-def _vector_matrix(
-    dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
-) -> np.ndarray:
-    measure = spec.details["measure"]
-    weighting = "tfidf" if measure.endswith("tfidf") else "tf"
-    left, right = build_vector_models(
-        dataset.left.texts(),
-        dataset.right.texts(),
-        n=spec.details["n"],
-        unit=spec.details["unit"],
-        weighting=weighting,
-    )
+def weighting_for_measure(measure: str) -> str:
+    """The vector-model weighting a vector measure consumes."""
+    return "tfidf" if measure.endswith("tfidf") else "tf"
+
+
+def vector_measure_matrix(left, right, measure: str) -> np.ndarray:
+    """A vector measure on prebuilt :class:`VectorModel` pairs."""
     if measure == "arcs":
         return arcs_matrix(left, right)
     if measure.startswith("cosine"):
@@ -261,31 +294,62 @@ def _vector_matrix(
     raise KeyError(f"unknown vector measure {measure!r}")
 
 
-def _graph_model_matrix(
+def _vector_matrix(
     dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
 ) -> np.ndarray:
-    graphs_left = build_entity_graphs(
-        dataset.left.value_lists(), n=spec.details["n"],
-        unit=spec.details["unit"],
-    )
-    graphs_right = build_entity_graphs(
-        dataset.right.value_lists(), n=spec.details["n"],
-        unit=spec.details["unit"],
-    )
-    sparse_left, sparse_right = graphs_to_sparse(graphs_left, graphs_right)
     measure = spec.details["measure"]
+    left, right = build_vector_models(
+        dataset.left.texts(),
+        dataset.right.texts(),
+        n=spec.details["n"],
+        unit=spec.details["unit"],
+        weighting=weighting_for_measure(measure),
+    )
+    return vector_measure_matrix(left, right, measure)
+
+
+def graph_measure_matrix(
+    sparse_left,
+    sparse_right,
+    measure: str,
+    ratio: np.ndarray | None = None,
+    common: np.ndarray | None = None,
+) -> np.ndarray:
+    """A graph measure on prebuilt sparse entity-graph matrices.
+
+    ``ratio`` / ``common`` optionally supply the pairwise ratio-sum and
+    common-edge intermediates shared by Value/NormValue/Overall and
+    Containment/Overall respectively.
+    """
     if measure == "containment":
-        return containment_matrix(sparse_left, sparse_right)
+        return containment_matrix(sparse_left, sparse_right, common=common)
     if measure == "value":
-        return value_matrix(sparse_left, sparse_right)
+        return value_matrix(sparse_left, sparse_right, ratio=ratio)
     if measure == "normalized_value":
-        return normalized_value_matrix(sparse_left, sparse_right)
+        return normalized_value_matrix(
+            sparse_left, sparse_right, ratio=ratio
+        )
     if measure == "overall":
-        return overall_matrix(sparse_left, sparse_right)
+        return overall_matrix(
+            sparse_left, sparse_right, ratio=ratio, common=common
+        )
     raise KeyError(f"unknown graph measure {measure!r}")
 
 
-def _make_semantic_model(name: str):
+def _graph_model_matrix(
+    dataset: CleanCleanDataset, spec: SimilarityFunctionSpec
+) -> np.ndarray:
+    sparse_left, sparse_right = entity_graph_matrices(
+        dataset.left.value_lists(),
+        dataset.right.value_lists(),
+        n=spec.details["n"],
+        unit=spec.details["unit"],
+    )
+    return graph_measure_matrix(sparse_left, sparse_right, spec.details["measure"])
+
+
+def make_semantic_model(name: str):
+    """Instantiate a semantic model of the taxonomy by name."""
     if name == "fasttext_like":
         return FastTextLikeModel()
     if name == "albert_like":
@@ -293,24 +357,41 @@ def _make_semantic_model(name: str):
     raise KeyError(f"unknown semantic model {name!r}")
 
 
-def _semantic_matrix(
-    lefts: list[str], rights: list[str], spec: SimilarityFunctionSpec
+def semantic_matrix_from_embeddings(
+    lefts: list[str],
+    rights: list[str],
+    measure: str,
+    embeddings_left,
+    embeddings_right,
+    wmd_stats=None,
 ) -> np.ndarray:
-    model = _make_semantic_model(spec.details["model"])
-    measure = spec.details["measure"]
+    """A semantic measure on precomputed embeddings.
+
+    ``embeddings_*`` are stacked text embeddings (arrays) for
+    ``cosine``/``euclidean`` and per-text token-embedding matrices
+    (lists of arrays) for ``wmd``.  ``lefts``/``rights`` are the source
+    strings, needed for the empty-evidence convention.  ``wmd_stats``
+    optionally carries the two per-text statistics lists of
+    :func:`repro.embeddings.wmd.token_stats` for the ``wmd`` measure.
+    """
     if measure == "wmd":
-        tokens_left = [model.embed_tokens(text) for text in lefts]
-        tokens_right = [model.embed_tokens(text) for text in rights]
-        result = word_mover_similarity_matrix(tokens_left, tokens_right)
+        stats_left, stats_right = (
+            wmd_stats if wmd_stats is not None else (None, None)
+        )
+        result = word_mover_similarity_matrix(
+            embeddings_left,
+            embeddings_right,
+            stats_left=stats_left,
+            stats_right=stats_right,
+        )
+    elif measure == "cosine":
+        result = cosine_similarity_matrix(embeddings_left, embeddings_right)
+    elif measure == "euclidean":
+        result = euclidean_similarity_matrix(
+            embeddings_left, embeddings_right
+        )
     else:
-        matrix_left = model.embed_texts(lefts)
-        matrix_right = model.embed_texts(rights)
-        if measure == "cosine":
-            result = cosine_similarity_matrix(matrix_left, matrix_right)
-        elif measure == "euclidean":
-            result = euclidean_similarity_matrix(matrix_left, matrix_right)
-        else:
-            raise KeyError(f"unknown semantic measure {measure!r}")
+        raise KeyError(f"unknown semantic measure {measure!r}")
     # No evidence for pairs with an empty side (mirrors the builder
     # convention of the syntactic families).
     left_empty = np.array([not text for text in lefts], dtype=bool)
@@ -318,3 +399,19 @@ def _semantic_matrix(
     result[left_empty, :] = 0.0
     result[:, right_empty] = 0.0
     return result
+
+
+def _semantic_matrix(
+    lefts: list[str], rights: list[str], spec: SimilarityFunctionSpec
+) -> np.ndarray:
+    model = make_semantic_model(spec.details["model"])
+    measure = spec.details["measure"]
+    if measure == "wmd":
+        embeddings_left = [model.embed_tokens(text) for text in lefts]
+        embeddings_right = [model.embed_tokens(text) for text in rights]
+    else:
+        embeddings_left = model.embed_texts(lefts)
+        embeddings_right = model.embed_texts(rights)
+    return semantic_matrix_from_embeddings(
+        lefts, rights, measure, embeddings_left, embeddings_right
+    )

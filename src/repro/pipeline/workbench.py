@@ -7,6 +7,15 @@ similarity graph.  The corpus is persisted under a cache directory
 harnesses can re-use it across runs; the cache key includes the scale,
 seed and configuration, so changing any knob regenerates.
 
+Generation runs through the shared-artifact engine of
+:mod:`repro.pipeline.engine`: specs are partitioned into
+artifact-sharing groups and each group computes its matrices against a
+per-dataset :class:`~repro.pipeline.engine.ArtifactCache`, which
+eliminates the redundant model/embedding rebuilds of the naive
+per-function loop.  With ``workers > 1`` the groups are distributed
+over a process pool; the result (records, order, cache key) is
+identical to the serial run — parallelism only changes wall-clock.
+
 The paper also removes degenerate inputs ("special care was taken to
 clean the experimental results from noise"); the corresponding filters
 live in :mod:`repro.evaluation.filtering` and are applied at analysis
@@ -18,23 +27,27 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
 from pathlib import Path
+
+import numpy as np
 
 from repro.datasets.catalog import DATASET_CODES, dataset_spec
 from repro.datasets.generator import CleanCleanDataset, generate_dataset
 from repro.graph.bipartite import SimilarityGraph
 from repro.graph.io import load_graph, save_graph
+from repro.pipeline.engine import SimilarityEngine, SpecGroup, group_specs
 from repro.pipeline.graph_builder import matrix_to_graph
 from repro.pipeline.similarity_functions import (
     FAMILIES,
-    compute_similarity_matrix,
-    enumerate_functions,
+    enumerate_function_specs,
 )
 
 __all__ = ["GraphCorpusConfig", "GraphRecord", "generate_corpus"]
 
 _MANIFEST_NAME = "manifest.json"
+_MANIFEST_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -45,7 +58,10 @@ class GraphCorpusConfig:
     ``max_pairs`` feed the dataset catalog; ``seed`` drives all
     randomness.  ``schema_based_measures`` / ``ngram_models`` etc. can
     shrink the taxonomy for quick runs (``None`` = the full paper
-    configuration).
+    configuration).  ``workers`` parallelizes generation over a
+    process pool; it never affects the produced corpus or the cache
+    key — only wall-clock — and is therefore excluded from
+    :meth:`cache_key`.
     """
 
     datasets: tuple[str, ...] = DATASET_CODES
@@ -60,6 +76,7 @@ class GraphCorpusConfig:
     semantic_models: tuple[str, ...] | None = None
     semantic_measures: tuple[str, ...] | None = None
     max_attributes: int | None = None
+    workers: int = 1
 
     def cache_key(self) -> str:
         """A stable hash of every generation-relevant knob."""
@@ -93,6 +110,11 @@ class GraphRecord:
     """One corpus entry: the graph plus its provenance.
 
     ``ground_truth`` is shared by all graphs of the same dataset.
+    ``build_seconds`` is the total wall-clock of the entry;
+    ``artifact_seconds`` (shared models/embeddings built on a cache
+    miss), ``matrix_seconds`` (the measure itself) and
+    ``graph_seconds`` (matrix-to-graph conversion) attribute it per
+    stage.  A warm artifact cache shows up as ``artifact_seconds == 0``.
     """
 
     graph: SimilarityGraph
@@ -102,6 +124,9 @@ class GraphRecord:
     category: str  # BLC / OSD / SCR
     ground_truth: set[tuple[int, int]]
     build_seconds: float = 0.0
+    artifact_seconds: float = 0.0
+    matrix_seconds: float = 0.0
+    graph_seconds: float = 0.0
 
     @property
     def n_edges(self) -> int:
@@ -112,25 +137,73 @@ def generate_corpus(
     config: GraphCorpusConfig,
     cache_dir: str | Path | None = None,
     progress: bool = False,
+    workers: int | None = None,
 ) -> list[GraphRecord]:
-    """Generate (or load from cache) the graph corpus for ``config``."""
+    """Generate (or load from cache) the graph corpus for ``config``.
+
+    ``workers`` overrides ``config.workers``; any value produces the
+    same corpus as a serial run.
+    """
     if cache_dir is not None:
         cache_dir = Path(cache_dir) / config.cache_key()
         manifest_path = cache_dir / _MANIFEST_NAME
         if manifest_path.exists():
             return _load_cached(cache_dir)
 
-    records: list[GraphRecord] = []
-    for code in config.datasets:
-        dataset = generate_dataset(
-            dataset_spec(code, scale=config.scale, max_pairs=config.max_pairs),
-            seed=config.seed,
-        )
-        records.extend(_dataset_records(dataset, config, progress))
+    n_workers = config.workers if workers is None else workers
+    tasks = _corpus_tasks(config)
+    if n_workers > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_group_worker, (config, code, group))
+                for code, group in tasks
+            ]
+            if progress:
+                # Stream each group as it finishes (possibly out of
+                # submission order) so long parallel runs stay visible.
+                for future in as_completed(futures):
+                    for record in future.result():
+                        _print_progress(record)
+            chunks = [future.result() for future in futures]
+        records = [record for chunk in chunks for record in chunk]
+    else:
+        records = []
+        engine: SimilarityEngine | None = None
+        current_code: str | None = None
+        for code, group in tasks:
+            if code != current_code:
+                engine = SimilarityEngine(_generate(config, code))
+                current_code = code
+            chunk = _group_records(engine, group, config)
+            if progress:
+                for record in chunk:
+                    _print_progress(record)
+            records.extend(chunk)
 
     if cache_dir is not None:
         _store_cache(cache_dir, records)
     return records
+
+
+def _generate(config: GraphCorpusConfig, code: str) -> CleanCleanDataset:
+    return generate_dataset(
+        dataset_spec(code, scale=config.scale, max_pairs=config.max_pairs),
+        seed=config.seed,
+    )
+
+
+def _corpus_tasks(
+    config: GraphCorpusConfig,
+) -> list[tuple[str, SpecGroup]]:
+    """All ``(dataset code, spec group)`` units of work, in order."""
+    tasks: list[tuple[str, SpecGroup]] = []
+    for code in config.datasets:
+        spec = dataset_spec(
+            code, scale=config.scale, max_pairs=config.max_pairs
+        )
+        specs = enumerate_function_specs(spec, **_enumerate_kwargs(config))
+        tasks.extend((code, group) for group in group_specs(specs))
+    return tasks
 
 
 def _enumerate_kwargs(config: GraphCorpusConfig) -> dict:
@@ -154,18 +227,39 @@ def _enumerate_kwargs(config: GraphCorpusConfig) -> dict:
     return kwargs
 
 
-def _dataset_records(
-    dataset: CleanCleanDataset,
+# Per-process memo of the last dataset/engine pair, so a pool worker
+# handling consecutive groups of the same dataset regenerates nothing.
+# Single-slot on purpose: it bounds worker memory to one dataset's
+# artifacts regardless of how many datasets the corpus spans.
+_WORKER_STATE: dict[tuple[str, str], SimilarityEngine] = {}
+
+
+def _group_worker(
+    task: tuple[GraphCorpusConfig, str, SpecGroup],
+) -> list[GraphRecord]:
+    config, code, group = task
+    key = (config.cache_key(), code)
+    engine = _WORKER_STATE.get(key)
+    if engine is None:
+        engine = SimilarityEngine(_generate(config, code))
+        _WORKER_STATE.clear()
+        _WORKER_STATE[key] = engine
+    return _group_records(engine, group, config)
+
+
+def _group_records(
+    engine: SimilarityEngine,
+    group: SpecGroup,
     config: GraphCorpusConfig,
-    progress: bool,
 ) -> list[GraphRecord]:
     from repro.datasets.catalog import CATEGORY_BY_DATASET
 
+    dataset = engine.dataset
     records: list[GraphRecord] = []
-    specs = enumerate_functions(dataset, **_enumerate_kwargs(config))
-    for spec in specs:
+    for spec in group.specs:
         start = time.perf_counter()
-        matrix = compute_similarity_matrix(dataset, spec)
+        matrix, artifact_seconds, matrix_seconds = engine.compute_timed(spec)
+        graph_start = time.perf_counter()
         graph = matrix_to_graph(
             matrix,
             name=f"{dataset.code}:{spec.name}",
@@ -175,6 +269,7 @@ def _dataset_records(
                 "function": spec.name,
             },
         )
+        graph_seconds = time.perf_counter() - graph_start
         elapsed = time.perf_counter() - start
         if _all_matches_zero(graph, dataset.ground_truth):
             # The paper removes graphs "where all matching entities had
@@ -189,47 +284,94 @@ def _dataset_records(
                 category=CATEGORY_BY_DATASET[dataset.code],
                 ground_truth=dataset.ground_truth,
                 build_seconds=elapsed,
+                artifact_seconds=artifact_seconds,
+                matrix_seconds=matrix_seconds,
+                graph_seconds=graph_seconds,
             )
         )
-        if progress:
-            print(
-                f"[workbench] {dataset.code} {spec.name}: "
-                f"m={graph.n_edges} ({elapsed:.2f}s)"
-            )
     return records
+
+
+def _print_progress(record: GraphRecord) -> None:
+    print(
+        f"[workbench] {record.dataset} {record.function}: "
+        f"m={record.n_edges} ({record.build_seconds:.2f}s = "
+        f"{record.artifact_seconds:.2f}s artifacts + "
+        f"{record.matrix_seconds:.2f}s matrix + "
+        f"{record.graph_seconds:.2f}s graph)"
+    )
 
 
 def _all_matches_zero(
     graph: SimilarityGraph, ground_truth: set[tuple[int, int]]
 ) -> bool:
-    edges = set(zip(graph.left.tolist(), graph.right.tolist()))
-    return all(pair not in edges for pair in ground_truth)
+    """True when no ground-truth pair appears among the graph's edges.
+
+    Vectorized: edges and truth pairs are folded into scalar keys
+    (``left * n_right + right``) and membership is one ``np.isin`` —
+    no per-graph Python set over all ``m`` edges.
+    """
+    if not ground_truth or graph.n_edges == 0:
+        return True
+    truth = np.array(sorted(ground_truth), dtype=np.int64)
+    stride = np.int64(graph.n_right)
+    edge_keys = graph.left * stride + graph.right
+    truth_keys = truth[:, 0] * stride + truth[:, 1]
+    return not bool(np.isin(truth_keys, edge_keys).any())
 
 
 def _store_cache(cache_dir: Path, records: list[GraphRecord]) -> None:
     cache_dir.mkdir(parents=True, exist_ok=True)
-    manifest = []
+    # Ground truth is identical for every graph of a dataset; store it
+    # once per dataset instead of once per graph (the v1 format's
+    # per-entry copies dominated the manifest size).
+    ground_truth: dict[str, list] = {}
+    graphs = []
     for index, record in enumerate(records):
         filename = f"graph_{index:04d}.npz"
         save_graph(record.graph, cache_dir / filename)
-        manifest.append(
+        if record.dataset not in ground_truth:
+            ground_truth[record.dataset] = sorted(record.ground_truth)
+        graphs.append(
             {
                 "file": filename,
                 "dataset": record.dataset,
                 "family": record.family,
                 "function": record.function,
                 "category": record.category,
-                "ground_truth": sorted(record.ground_truth),
                 "build_seconds": record.build_seconds,
+                "artifact_seconds": record.artifact_seconds,
+                "matrix_seconds": record.matrix_seconds,
+                "graph_seconds": record.graph_seconds,
             }
         )
+    manifest = {
+        "version": _MANIFEST_VERSION,
+        "ground_truth": ground_truth,
+        "graphs": graphs,
+    }
     (cache_dir / _MANIFEST_NAME).write_text(json.dumps(manifest))
 
 
 def _load_cached(cache_dir: Path) -> list[GraphRecord]:
     manifest = json.loads((cache_dir / _MANIFEST_NAME).read_text())
+    if isinstance(manifest, list):
+        # v1 manifests carried a full ground-truth copy per entry.
+        entries = manifest
+        shared_truth: dict[str, set[tuple[int, int]]] = {}
+        for entry in entries:
+            if entry["dataset"] not in shared_truth:
+                shared_truth[entry["dataset"]] = {
+                    tuple(pair) for pair in entry["ground_truth"]
+                }
+    else:
+        entries = manifest["graphs"]
+        shared_truth = {
+            code: {tuple(pair) for pair in pairs}
+            for code, pairs in manifest["ground_truth"].items()
+        }
     records = []
-    for entry in manifest:
+    for entry in entries:
         graph = load_graph(cache_dir / entry["file"])
         records.append(
             GraphRecord(
@@ -238,8 +380,11 @@ def _load_cached(cache_dir: Path) -> list[GraphRecord]:
                 family=entry["family"],
                 function=entry["function"],
                 category=entry["category"],
-                ground_truth={tuple(pair) for pair in entry["ground_truth"]},
+                ground_truth=shared_truth[entry["dataset"]],
                 build_seconds=entry["build_seconds"],
+                artifact_seconds=entry.get("artifact_seconds", 0.0),
+                matrix_seconds=entry.get("matrix_seconds", 0.0),
+                graph_seconds=entry.get("graph_seconds", 0.0),
             )
         )
     return records

@@ -19,13 +19,17 @@ from repro.vectorspace.measures import (
     jaccard_matrix,
 )
 from repro.vectorspace.ngram_vector import (
+    ProfileSpace,
     VectorModel,
+    build_profile_space,
     build_vector_models,
     ngram_profiles,
 )
 
 __all__ = [
     "VectorModel",
+    "ProfileSpace",
+    "build_profile_space",
     "build_vector_models",
     "ngram_profiles",
     "cosine_matrix",

@@ -26,7 +26,13 @@ from scipy import sparse
 
 from repro.textsim.tokenize import character_ngrams, token_ngrams
 
-__all__ = ["VectorModel", "build_vector_models", "ngram_profiles"]
+__all__ = [
+    "VectorModel",
+    "ProfileSpace",
+    "build_profile_space",
+    "build_vector_models",
+    "ngram_profiles",
+]
 
 
 def ngram_profiles(texts: list[str], n: int, unit: str) -> list[Counter]:
@@ -69,21 +75,30 @@ class VectorModel:
         return self.matrix.shape[0]
 
 
-def build_vector_models(
+@dataclass
+class ProfileSpace:
+    """Weighting-independent artifacts of one ``(unit, n)`` model pair.
+
+    Extracting n-gram profiles and the shared vocabulary/DF statistics
+    is the expensive part of :func:`build_vector_models`, and it is
+    identical for the TF and TF-IDF weightings.  A ``ProfileSpace``
+    computes it once so both weightings (and repeated builds) reuse it.
+    """
+
+    profiles_left: list[Counter]
+    profiles_right: list[Counter]
+    vocabulary: dict[str, int]
+    df_left: np.ndarray
+    df_right: np.ndarray
+
+
+def build_profile_space(
     texts_left: list[str],
     texts_right: list[str],
     n: int,
     unit: str,
-    weighting: str = "tf",
-) -> tuple[VectorModel, VectorModel]:
-    """Build aligned vector models for two entity collections.
-
-    The vocabulary and IDF statistics are shared so that the two
-    matrices live in the same space.  ``weighting`` is ``"tf"`` or
-    ``"tfidf"``.
-    """
-    if weighting not in ("tf", "tfidf"):
-        raise ValueError("weighting must be 'tf' or 'tfidf'")
+) -> ProfileSpace:
+    """Profiles plus shared vocabulary/DF for two entity collections."""
     profiles_left = ngram_profiles(texts_left, n, unit)
     profiles_right = ngram_profiles(texts_right, n, unit)
 
@@ -105,16 +120,49 @@ def build_vector_models(
         for gram in profile:
             df_right[vocabulary[gram]] += 1
 
+    return ProfileSpace(
+        profiles_left=profiles_left,
+        profiles_right=profiles_right,
+        vocabulary=vocabulary,
+        df_left=df_left,
+        df_right=df_right,
+    )
+
+
+def build_vector_models(
+    texts_left: list[str],
+    texts_right: list[str],
+    n: int,
+    unit: str,
+    weighting: str = "tf",
+    space: ProfileSpace | None = None,
+) -> tuple[VectorModel, VectorModel]:
+    """Build aligned vector models for two entity collections.
+
+    The vocabulary and IDF statistics are shared so that the two
+    matrices live in the same space.  ``weighting`` is ``"tf"`` or
+    ``"tfidf"``.  ``space`` optionally reuses a precomputed
+    :class:`ProfileSpace` (it must stem from the same texts/n/unit).
+    """
+    if weighting not in ("tf", "tfidf"):
+        raise ValueError("weighting must be 'tf' or 'tfidf'")
+    if space is None:
+        space = build_profile_space(texts_left, texts_right, n, unit)
+
     if weighting == "tfidf":
-        n_docs = len(profiles_left) + len(profiles_right)
+        n_docs = len(space.profiles_left) + len(space.profiles_right)
         with np.errstate(divide="ignore"):
-            idf = np.log(n_docs / (df_left + df_right + 1.0))
+            idf = np.log(n_docs / (space.df_left + space.df_right + 1.0))
         idf = np.maximum(idf, 0.0)
     else:
         idf = None
 
-    left = _assemble(profiles_left, vocabulary, df_left, idf)
-    right = _assemble(profiles_right, vocabulary, df_right, idf)
+    left = _assemble(
+        space.profiles_left, space.vocabulary, space.df_left, idf
+    )
+    right = _assemble(
+        space.profiles_right, space.vocabulary, space.df_right, idf
+    )
     return left, right
 
 
