@@ -10,10 +10,13 @@ Four subcommands cover the library's main entry points:
     plus the ground truth as CSV files.
 ``repro sweep``
     Threshold-sweep one or all algorithms on an edge-list CSV with a
-    ground-truth CSV and print the effectiveness table.
+    ground-truth CSV and print the effectiveness table; ``--workers``
+    distributes the per-algorithm sweeps over a process pool (the
+    table is invariant under the worker count).
 ``repro experiments``
     Run the cached full protocol and print the headline tables
-    (Table 4 and the Figure 2 Nemenyi diagram).
+    (Table 4 and the Figure 2 Nemenyi diagram); ``--workers`` covers
+    both corpus generation and the (graph x algorithm) sweep cells.
 ``repro corpus``
     Generate (or warm the cache of) the similarity-graph corpus via
     the shared-artifact engine, optionally over several worker
@@ -78,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--algorithm", "-a", default="all",
         help="algorithm code or 'all' (paper's eight)",
     )
+    sweep.add_argument(
+        "--workers", "-j", type=int, default=None,
+        help="worker processes for per-algorithm sweeps (default: serial)",
+    )
 
     experiments = commands.add_parser(
         "experiments", help="run the cached full protocol"
@@ -88,7 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--cache", type=Path, default=None)
     experiments.add_argument(
         "--workers", "-j", type=int, default=None,
-        help="worker processes for corpus generation (default: serial)",
+        help=(
+            "worker processes for corpus generation and the matching "
+            "sweep cells (default: serial)"
+        ),
     )
 
     corpus = commands.add_parser(
@@ -176,23 +186,41 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
+def _sweep_one_code(
+    payload: tuple[SimilarityGraph, set[tuple[int, int]], str],
+):
+    """One ``repro sweep`` cell (module-level so process pools can
+    pickle it); returns the sweep of one algorithm code."""
     from repro.evaluation.sweep import threshold_sweep
 
+    graph, truth, code = payload
+    matcher = (
+        create_matcher(code, max_moves=2_000, time_limit=2.0)
+        if code == "BAH"
+        else create_matcher(code)
+    )
+    return threshold_sweep(matcher, graph, truth)
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
     graph = _read_graph(args.graph)
     truth = _read_truth(args.truth)
     if args.algorithm == "all":
         codes = PAPER_ALGORITHM_CODES
     else:
         codes = (args.algorithm.upper(),)
+    payloads = [(graph, truth, code) for code in codes]
+    if args.workers is not None and args.workers > 1 and len(codes) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # One cell per algorithm; gathering in submission order keeps
+        # the table identical to a serial run for any worker count.
+        with ProcessPoolExecutor(max_workers=args.workers) as pool:
+            sweeps = list(pool.map(_sweep_one_code, payloads))
+    else:
+        sweeps = [_sweep_one_code(payload) for payload in payloads]
     rows = []
-    for code in codes:
-        matcher = (
-            create_matcher(code, max_moves=2_000, time_limit=2.0)
-            if code == "BAH"
-            else create_matcher(code)
-        )
-        sweep = threshold_sweep(matcher, graph, truth)
+    for code, sweep in zip(codes, sweeps):
         best = sweep.best_scores
         rows.append(
             [

@@ -1,10 +1,13 @@
 """Evaluation framework (Sections 5-6 of the paper).
 
 * :mod:`repro.evaluation.metrics` — precision / recall / F-measure of
-  a matching against the ground truth;
+  a matching against the ground truth, plus the vectorized
+  :class:`GroundTruthIndex` shared across a sweep's evaluations;
 * :mod:`repro.evaluation.sweep` — the similarity-threshold sweep
   (0.05 .. 1.00, step 0.05) with the paper's optimal-threshold rule
-  ("the largest threshold that achieves the highest F-Measure");
+  ("the largest threshold that achieves the highest F-Measure"),
+  running on the compiled-graph engine (one compile per graph, cached
+  threshold slices per grid point);
 * :mod:`repro.evaluation.filtering` — the noise filters applied to the
   graph corpus (low-signal graphs, duplicate inputs);
 * :mod:`repro.evaluation.stats` — Friedman test, Nemenyi post-hoc
@@ -13,7 +16,11 @@
   the benchmark harnesses.
 """
 
-from repro.evaluation.metrics import EffectivenessScores, evaluate_pairs
+from repro.evaluation.metrics import (
+    EffectivenessScores,
+    GroundTruthIndex,
+    evaluate_pairs,
+)
 from repro.evaluation.stats import (
     critical_difference,
     friedman_test,
@@ -26,14 +33,17 @@ from repro.evaluation.sweep import (
     SweepResult,
     optimal_threshold,
     threshold_sweep,
+    threshold_sweep_best_of,
 )
 
 __all__ = [
     "EffectivenessScores",
+    "GroundTruthIndex",
     "evaluate_pairs",
     "DEFAULT_THRESHOLD_GRID",
     "SweepResult",
     "threshold_sweep",
+    "threshold_sweep_best_of",
     "optimal_threshold",
     "friedman_test",
     "mean_ranks",

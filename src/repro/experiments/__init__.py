@@ -1,9 +1,11 @@
 """Experiment drivers regenerating every table and figure of the paper.
 
 The :mod:`repro.experiments.runner` executes the full protocol —
-corpus generation, per-algorithm threshold sweeps, noise filtering —
-and caches the results; the analysis modules aggregate those results
-into the paper's tables and figures:
+corpus generation, per-algorithm threshold sweeps on the
+compiled-graph matching engine (optionally cell-parallel over a
+process pool via the ``workers`` knob, results invariant under the
+worker count), noise filtering — and caches the results; the analysis
+modules aggregate those results into the paper's tables and figures:
 
 * :mod:`repro.experiments.effectiveness` — Table 4, Table 5, Figure 3,
   and the score matrices behind the Nemenyi diagrams (Figures 2/7/8);

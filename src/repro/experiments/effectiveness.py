@@ -1,8 +1,11 @@
 """Effectiveness analyses: Table 4, Figure 3, Table 5, Figures 2/7/8.
 
 All functions aggregate :class:`~repro.experiments.runner.GraphRunResult`
-lists; each algorithm's per-graph performance is the best point of its
-threshold sweep, as in the paper's protocol.
+lists produced by the compiled-graph sweep engine
+(:func:`~repro.experiments.runner.run_matching_sweeps`, serial or
+cell-parallel — the aggregates are invariant either way); each
+algorithm's per-graph performance is the best point of its threshold
+sweep, as in the paper's protocol.
 """
 
 from __future__ import annotations

@@ -6,16 +6,27 @@ sweep; BMC runs once per basis collection and keeps the better sweep
 noise and duplicate filters are then applied, and the surviving
 results are cached as JSON so the table/figure benches aggregate
 without re-running anything.
+
+The sweeps run on the compiled-graph matching engine
+(:mod:`repro.graph.compiled` + ``Matcher.match_compiled``): each graph
+is compiled once and shared by all algorithms and thresholds.  With
+``workers > 1`` the individual ``(graph, algorithm)`` sweep cells are
+distributed over a process pool — the same knob PR 1 introduced for
+corpus generation — and the assembled results are invariant under the
+worker count: cells are independent, every stochastic matcher is
+seeded per cell, and assembly follows the deterministic
+``(graph index, algorithm order)`` grid.
 """
 
 from __future__ import annotations
 
 import json
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.evaluation.filtering import find_duplicate_inputs, is_noisy_graph
-from repro.evaluation.metrics import EffectivenessScores
+from repro.evaluation.metrics import EffectivenessScores, GroundTruthIndex
 from repro.evaluation.sweep import (
     SweepPoint,
     SweepResult,
@@ -23,6 +34,7 @@ from repro.evaluation.sweep import (
     threshold_sweep_best_of,
 )
 from repro.experiments.config import ExperimentConfig, default_cache_dir
+from repro.graph.bipartite import SimilarityGraph
 from repro.matching import (
     BestAssignmentHeuristic,
     BestMatchClustering,
@@ -31,7 +43,7 @@ from repro.matching import (
 from repro.matching.registry import PAPER_ALGORITHM_CODES
 from repro.pipeline.workbench import GraphRecord, generate_corpus
 
-__all__ = ["GraphRunResult", "run_experiments"]
+__all__ = ["GraphRunResult", "run_experiments", "run_matching_sweeps"]
 
 _RESULTS_NAME = "results.json"
 
@@ -63,9 +75,11 @@ def run_experiments(
 ) -> list[GraphRunResult]:
     """Execute (or load from cache) the full experimental protocol.
 
-    ``workers`` parallelizes corpus generation (see
-    :func:`repro.pipeline.workbench.generate_corpus`); it has no
-    effect on the results or on any cache key.
+    ``workers`` parallelizes both stages: corpus generation (see
+    :func:`repro.pipeline.workbench.generate_corpus`) and the
+    per-``(graph, algorithm)`` matching sweeps (see
+    :func:`run_matching_sweeps`).  It has no effect on the results or
+    on any cache key.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
@@ -82,9 +96,10 @@ def run_experiments(
         progress=progress,
         workers=workers,
     )
-    results = [
-        _run_graph(record, config, progress) for record in corpus
-    ]
+    n_workers = workers if workers is not None else config.corpus.workers
+    results = run_matching_sweeps(
+        corpus, config, progress=progress, workers=n_workers
+    )
     results = _apply_filters(results, config)
 
     results_path.parent.mkdir(parents=True, exist_ok=True)
@@ -92,52 +107,143 @@ def run_experiments(
     return results
 
 
-def _run_graph(
-    record: GraphRecord, config: ExperimentConfig, progress: bool
-) -> GraphRunResult:
-    sweeps: dict[str, SweepResult] = {}
-    for code in PAPER_ALGORITHM_CODES:
-        if code == "BMC":
-            sweep = threshold_sweep_best_of(
-                [
-                    BestMatchClustering(basis="left"),
-                    BestMatchClustering(basis="right"),
-                ],
-                record.graph,
-                record.ground_truth,
-                config.grid,
-            )
-        elif code == "BAH":
-            matcher = BestAssignmentHeuristic(
-                max_moves=config.bah_max_moves,
-                time_limit=config.bah_time_limit,
-                seed=config.bah_seed,
-            )
-            sweep = threshold_sweep(
-                matcher, record.graph, record.ground_truth, config.grid
-            )
-        else:
-            sweep = threshold_sweep(
-                create_matcher(code),
-                record.graph,
-                record.ground_truth,
-                config.grid,
-            )
-        sweeps[code] = sweep
-    if progress:
-        best = max(sweeps.values(), key=lambda s: s.best_scores.f_measure)
-        print(
-            f"[runner] {record.dataset} {record.function}: top F1 "
-            f"{best.best_scores.f_measure:.3f} ({best.algorithm})"
+def run_matching_sweeps(
+    records: list[GraphRecord],
+    config: ExperimentConfig,
+    codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
+    progress: bool = False,
+    workers: int = 1,
+) -> list[GraphRunResult]:
+    """Threshold-sweep every algorithm over every corpus record.
+
+    The unit of parallel work is one ``(graph, algorithm)`` sweep
+    cell.  With ``workers > 1`` the cells run on a process pool;
+    results are assembled on the deterministic ``(record index,
+    algorithm order)`` grid, so the output is identical to a serial
+    run for any worker count.
+    """
+    if workers > 1 and len(records) * len(codes) > 1:
+        cells = [
+            (index, code)
+            for index in range(len(records))
+            for code in codes
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _sweep_cell,
+                    records[index].graph,
+                    records[index].ground_truth,
+                    code,
+                    config,
+                ): (index, code)
+                for index, code in cells
+            }
+            grid: dict[tuple[int, str], SweepResult] = {}
+            pending = {index: len(codes) for index in range(len(records))}
+            for future in as_completed(futures):
+                index, code = futures[future]
+                grid[(index, code)] = future.result()
+                pending[index] -= 1
+                if progress and pending[index] == 0:
+                    # Stream each graph as its last cell lands (cells
+                    # finish out of order; completed graphs may too).
+                    _print_progress(
+                        records[index],
+                        {c: grid[(index, c)] for c in codes},
+                    )
+        all_sweeps = [
+            {code: grid[(index, code)] for code in codes}
+            for index in range(len(records))
+        ]
+    else:
+        all_sweeps = []
+        for record in records:
+            truth_index = GroundTruthIndex(record.ground_truth)
+            sweeps = {
+                code: _sweep_algorithm(
+                    code,
+                    record.graph,
+                    record.ground_truth,
+                    config,
+                    truth_index,
+                )
+                for code in codes
+            }
+            # The compiled artifacts served their sweep; release them
+            # so corpus-sized runs do not accumulate derived arrays.
+            record.graph.release_compiled()
+            if progress:
+                _print_progress(record, sweeps)
+            all_sweeps.append(sweeps)
+
+    return [
+        GraphRunResult(
+            dataset=record.dataset,
+            family=record.family,
+            function=record.function,
+            category=record.category,
+            n_edges=record.n_edges,
+            normalized_size=record.graph.density,
+            sweeps=sweeps,
         )
-    return GraphRunResult(
-        dataset=record.dataset,
-        family=record.family,
-        function=record.function,
-        category=record.category,
-        n_edges=record.n_edges,
-        normalized_size=record.graph.density,
-        sweeps=sweeps,
+        for record, sweeps in zip(records, all_sweeps)
+    ]
+
+
+def _print_progress(record: GraphRecord, sweeps: dict[str, SweepResult]):
+    best = max(sweeps.values(), key=lambda s: s.best_scores.f_measure)
+    print(
+        f"[runner] {record.dataset} {record.function}: top F1 "
+        f"{best.best_scores.f_measure:.3f} ({best.algorithm})"
+    )
+
+
+def _sweep_cell(
+    graph: SimilarityGraph,
+    ground_truth: set[tuple[int, int]],
+    code: str,
+    config: ExperimentConfig,
+) -> SweepResult:
+    """One process-pool work unit: a full sweep of one algorithm."""
+    return _sweep_algorithm(
+        code, graph, ground_truth, config, GroundTruthIndex(ground_truth)
+    )
+
+
+def _sweep_algorithm(
+    code: str,
+    graph: SimilarityGraph,
+    ground_truth: set[tuple[int, int]],
+    config: ExperimentConfig,
+    truth_index: GroundTruthIndex,
+) -> SweepResult:
+    """Sweep ``code`` with the paper's per-algorithm configuration."""
+    if code == "BMC":
+        return threshold_sweep_best_of(
+            [
+                BestMatchClustering(basis="left"),
+                BestMatchClustering(basis="right"),
+            ],
+            graph,
+            ground_truth,
+            config.grid,
+            truth_index=truth_index,
+        )
+    if code == "BAH":
+        matcher = BestAssignmentHeuristic(
+            max_moves=config.bah_max_moves,
+            time_limit=config.bah_time_limit,
+            seed=config.bah_seed,
+        )
+    else:
+        matcher = create_matcher(code)
+    return threshold_sweep(
+        matcher,
+        graph,
+        ground_truth,
+        config.grid,
+        truth_index=truth_index,
     )
 
 

@@ -4,7 +4,10 @@ The optimal similarity threshold is the paper's single most important
 configuration parameter; these analyses reproduce its distribution
 per algorithm and input family (Table 8 with the Pearson correlation
 to the normalized graph size), its per-dataset averages (Table 9) and
-the cross-algorithm correlation matrices (Figure 9).
+the cross-algorithm correlation matrices (Figure 9).  Inputs come from
+the compiled-graph sweep engine, whose per-threshold results are
+bit-identical to the legacy per-call path — the threshold statistics
+here are unaffected by how (or how parallel) the sweeps ran.
 """
 
 from __future__ import annotations

@@ -5,15 +5,31 @@ Every experiment in the paper consumes a *bipartite similarity graph*
 provides the graph data structure itself (:class:`SimilarityGraph`),
 min-max weight normalization, descriptive statistics, (de)serialization
 and the worked example graph of Figure 1.
+
+Because the paper's protocol re-uses each graph across ten algorithms
+and twenty thresholds, the package also provides the graph's *compiled*
+form (:class:`CompiledGraph`, built once per graph via
+:meth:`SimilarityGraph.compiled`): the descending-weight edge
+permutation, CSR adjacency for both sides and binary-searchable
+threshold prefixes that every matcher kernel shares.  The strict-vs-
+inclusive threshold convention lives in one place,
+:mod:`repro.graph.selection`.
 """
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph, EdgeSelection, compile_graph
 from repro.graph.examples import figure1_graph
 from repro.graph.normalize import min_max_normalize
+from repro.graph.selection import prefix_length, selection_mask
 from repro.graph.stats import GraphStats, graph_stats
 
 __all__ = [
     "SimilarityGraph",
+    "CompiledGraph",
+    "EdgeSelection",
+    "compile_graph",
+    "selection_mask",
+    "prefix_length",
     "GraphStats",
     "graph_stats",
     "min_max_normalize",

@@ -11,13 +11,29 @@ The representation intentionally mirrors the paper's problem statement:
 edges connect only nodes of different sides, weights live in ``[0, 1]``
 and the same graph is re-used across all algorithms and all thresholds
 of the sweep.
+
+Re-use is what :meth:`SimilarityGraph.compiled` serves: it builds (once,
+cached) the :class:`~repro.graph.compiled.CompiledGraph` holding the
+descending-weight edge permutation and the CSR adjacency both matcher
+entry points share — ``Matcher.match`` compiles implicitly and
+``Matcher.match_compiled`` consumes the compiled view directly.  The
+edge arrays are therefore part of an immutability contract: mutating
+``left`` / ``right`` / ``weight`` after the first compile leaves the
+cached artifacts stale.  Derive new graphs (:meth:`prune`,
+:meth:`swap_sides`, :meth:`subgraph_by_edge_indices`) instead of
+editing in place.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.graph.selection import selection_mask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.graph.compiled import CompiledGraph
 
 __all__ = ["SimilarityGraph"]
 
@@ -54,8 +70,7 @@ class SimilarityGraph:
         "weight",
         "name",
         "metadata",
-        "_left_adjacency",
-        "_right_adjacency",
+        "_compiled",
     )
 
     def __init__(
@@ -77,10 +92,35 @@ class SimilarityGraph:
         self.weight = np.asarray(weight, dtype=np.float64)
         self.name = name
         self.metadata: dict = {}
-        self._left_adjacency: list[list[tuple[int, float]]] | None = None
-        self._right_adjacency: list[list[tuple[int, float]]] | None = None
+        self._compiled: "CompiledGraph | None" = None
         if validate:
             self._validate()
+
+    # ------------------------------------------------------------------
+    # Pickling (drop the compiled cache; workers rebuild it locally)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (
+            self.n_left,
+            self.n_right,
+            self.left,
+            self.right,
+            self.weight,
+            self.name,
+            self.metadata,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.n_left,
+            self.n_right,
+            self.left,
+            self.right,
+            self.weight,
+            self.name,
+            self.metadata,
+        ) = state
+        self._compiled = None
 
     def _validate(self) -> None:
         if not (len(self.left) == len(self.right) == len(self.weight)):
@@ -195,11 +235,11 @@ class SimilarityGraph:
         than the similarity threshold"; the pseudocode uses a strict
         ``sim > t`` comparison for most algorithms, so strict is the
         default here.  Pass ``inclusive=True`` to keep ``sim == t``.
+        The comparison itself is resolved by
+        :func:`repro.graph.selection.selection_mask`, the same helper
+        the compiled prefix slicing uses.
         """
-        if inclusive:
-            mask = self.weight >= threshold
-        else:
-            mask = self.weight > threshold
+        mask = selection_mask(self.weight, threshold, inclusive)
         pruned = SimilarityGraph(
             self.n_left,
             self.n_right,
@@ -214,41 +254,43 @@ class SimilarityGraph:
 
     def edge_mask(self, threshold: float) -> np.ndarray:
         """Boolean mask of edges with weight strictly above ``threshold``."""
-        return self.weight > threshold
+        return selection_mask(self.weight, threshold, inclusive=False)
 
     # ------------------------------------------------------------------
-    # Adjacency
+    # Compiled form and adjacency
     # ------------------------------------------------------------------
+    def compiled(self) -> "CompiledGraph":
+        """The compiled form of this graph (sorted edge permutation,
+        CSR adjacency, threshold prefix indices), built once and cached.
+
+        Every artifact that used to be rebuilt per ``match`` call —
+        adjacency lists, the descending edge sort, node averages —
+        lives on the compiled graph, so all matchers and all thresholds
+        of a sweep share one copy.
+        """
+        if self._compiled is None:
+            from repro.graph.compiled import CompiledGraph
+
+            self._compiled = CompiledGraph(self)
+        return self._compiled
+
+    def release_compiled(self) -> None:
+        """Drop the cached compiled form (frees the derived arrays)."""
+        self._compiled = None
+
     def left_adjacency(self) -> list[list[tuple[int, float]]]:
         """Adjacency lists for ``V1``, each sorted by decreasing weight.
 
         Ties are broken by ascending neighbour index so results are
-        deterministic.  The structure is computed once and cached.
+        deterministic.  Delegates to the compiled CSR arrays — one sort
+        shared with every other consumer, cached on the compiled graph
+        (no more per-side lexsort or stale private list caches).
         """
-        if self._left_adjacency is None:
-            self._left_adjacency = self._build_adjacency(side="left")
-        return self._left_adjacency
+        return self.compiled().left_adjacency()
 
     def right_adjacency(self) -> list[list[tuple[int, float]]]:
         """Adjacency lists for ``V2``, each sorted by decreasing weight."""
-        if self._right_adjacency is None:
-            self._right_adjacency = self._build_adjacency(side="right")
-        return self._right_adjacency
-
-    def _build_adjacency(self, side: str) -> list[list[tuple[int, float]]]:
-        if side == "left":
-            n, keys, neighbours = self.n_left, self.left, self.right
-        else:
-            n, keys, neighbours = self.n_right, self.right, self.left
-        adjacency: list[list[tuple[int, float]]] = [[] for _ in range(n)]
-        # Sorting globally by (-weight, neighbour) then appending in order
-        # yields per-node lists already sorted by decreasing weight.
-        order = np.lexsort((neighbours, -self.weight))
-        for idx in order:
-            adjacency[keys[idx]].append(
-                (int(neighbours[idx]), float(self.weight[idx]))
-            )
-        return adjacency
+        return self.compiled().right_adjacency()
 
     def average_node_weights(self) -> tuple[np.ndarray, np.ndarray]:
         """Average adjacent-edge weight per node, for both sides.

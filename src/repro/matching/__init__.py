@@ -19,9 +19,18 @@ Hungarian (exact MWM oracle)      HUN   :mod:`repro.matching.hungarian`
 Gale-Shapley (stable marriage)    GSM   :mod:`repro.matching.gale_shapley`
 ================================  ====  =========================================
 
-All algorithms share the :class:`repro.matching.base.Matcher` interface:
-``match(graph, threshold)`` returns a :class:`MatchingResult` whose pairs
-satisfy the unique-mapping constraint of CCER.
+All algorithms share the :class:`repro.matching.base.Matcher` interface
+with two equivalent entry points: ``match(graph, threshold)`` — a thin
+wrapper that compiles the graph (cached on the graph instance) — and
+the sweep-native ``match_compiled(view, threshold)``, which consumes a
+:class:`~repro.graph.compiled.CompiledGraph` so that all algorithms
+and all thresholds of a sweep share one edge sort, one CSR adjacency
+and cached per-threshold edge selections.  Both return a
+:class:`MatchingResult` whose pairs satisfy the unique-mapping
+constraint of CCER; the pre-compiled implementations survive as
+``match_legacy`` and the differential test-suite plus
+``benchmarks/bench_matching_sweep.py`` pin the two paths to
+bit-identical output.
 """
 
 from repro.matching.base import Matcher, MatchingResult

@@ -6,14 +6,29 @@ from different collections.  Singleton partitions carry no information
 for the evaluation measures, so :class:`MatchingResult` stores only the
 2-node partitions (the matched pairs); everything not mentioned in a
 pair is implicitly a singleton.
+
+Matchers expose two equivalent entry points:
+
+* :meth:`Matcher.match` — the historical ``(graph, threshold)`` API.
+  It is now a thin wrapper: it compiles the graph (cached on the graph
+  instance, so the cost is paid once per graph, not per call) and
+  delegates to the compiled path.  Results are bit-identical to the
+  pre-compiled implementations, which remain available as
+  :meth:`Matcher.match_legacy` for differential testing and the
+  matching-sweep benchmark.
+* :meth:`Matcher.match_compiled` — the sweep-native path, consuming a
+  :class:`~repro.graph.compiled.CompiledGraph` directly so repeated
+  calls across thresholds share one edge sort, one CSR adjacency and
+  cached per-threshold edge selections.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from dataclasses import dataclass, field
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 
 __all__ = ["Matcher", "MatchingResult"]
 
@@ -93,20 +108,53 @@ class Matcher(ABC):
     """Base class of all bipartite matching algorithms.
 
     Subclasses set the class attributes ``code`` (the paper's
-    three-letter identifier) and ``full_name`` and implement
-    :meth:`match`.
+    three-letter identifier) and ``full_name`` and implement at least
+    one of :meth:`match_compiled` (preferred: the sweep engine calls it
+    directly) or :meth:`match` (external matchers that have no compiled
+    kernel); the default implementations bridge between the two.
     """
 
     code: str = ""
     full_name: str = ""
 
-    @abstractmethod
     def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
         """Partition ``graph`` using the similarity ``threshold``.
 
         Implementations must return pairs that satisfy the
-        unique-mapping constraint and must not mutate ``graph``.
+        unique-mapping constraint and must not mutate ``graph``'s edge
+        arrays.  The default compiles the graph (cached on the graph)
+        and delegates to :meth:`match_compiled`.
         """
+        return self.match_compiled(graph.compiled(), threshold)
+
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        """Partition a compiled graph at ``threshold``.
+
+        The compiled path of the ten built-in algorithms; matchers
+        without a compiled kernel (e.g. the learned baselines) inherit
+        this fallback onto their :meth:`match` over the source graph.
+        """
+        if type(self).match is Matcher.match:  # neither entry overridden
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither match() nor "
+                "match_compiled()"
+            )
+        return self.match(view.source, threshold)
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
+        """The pre-compiled reference implementation, kept verbatim.
+
+        Used by the differential test-suite and by
+        ``benchmarks/bench_matching_sweep.py`` as the baseline whose
+        output the compiled kernels must reproduce bit for bit.
+        Matchers without a dedicated legacy body fall back to
+        :meth:`match`.
+        """
+        return self.match(graph, threshold)
 
     def _result(
         self, pairs: list[tuple[int, int]], threshold: float

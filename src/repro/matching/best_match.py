@@ -15,6 +15,7 @@ collection usually wins.
 from __future__ import annotations
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 from repro.matching.base import Matcher, MatchingResult
 
 __all__ = ["BestMatchClustering", "BASIS_CHOICES"]
@@ -41,12 +42,41 @@ class BestMatchClustering(Matcher):
             raise ValueError(f"basis must be one of {BASIS_CHOICES}")
         self.basis = basis
 
-    def _resolved_basis(self, graph: SimilarityGraph) -> str:
+    def _resolved_basis(self, graph) -> str:
         if self.basis != "smaller":
             return self.basis
         return "left" if graph.n_left <= graph.n_right else "right"
 
-    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        basis = self._resolved_basis(view)
+        if basis == "left":
+            n_basis = view.n_left
+            adjacency = view.left_adjacency()
+        else:
+            n_basis = view.n_right
+            adjacency = view.right_adjacency()
+
+        matched_other: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for node in range(n_basis):
+            for other, weight in adjacency[node]:
+                if weight <= threshold:
+                    break  # adjacency sorted by descending weight
+                if other not in matched_other:
+                    matched_other.add(other)
+                    if basis == "left":
+                        pairs.append((node, other))
+                    else:
+                        pairs.append((other, node))
+                    break
+        pairs.sort()
+        return self._result(pairs, threshold)
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
         basis = self._resolved_basis(graph)
         if basis == "left":
             n_basis = graph.n_left

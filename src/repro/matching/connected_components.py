@@ -5,6 +5,13 @@ threshold, compute the transitive closure (connected components) of the
 pruned graph, and keep only the components that contain exactly two
 entities, one from each collection.  Time complexity ``O(n + m)``.
 
+The compiled kernel takes the inclusive threshold prefix of the
+compiled edge permutation and labels components with
+:func:`scipy.sparse.csgraph.connected_components` (C speed); the
+legacy path runs the original Python union-find.  A 2-node component
+in a bipartite graph is necessarily one left node joined to one right
+node, so both paths emit exactly the same pairs.
+
 The paper observes that CNC trades very high precision for low recall:
 any node involved in a larger component is discarded entirely.
 """
@@ -12,8 +19,11 @@ any node involved in a larger component is discarded entirely.
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 from repro.matching.base import Matcher, MatchingResult
 
 __all__ = ["ConnectedComponentsClustering", "UnionFind"]
@@ -69,7 +79,39 @@ class ConnectedComponentsClustering(Matcher):
     code = "CNC"
     full_name = "Connected Components"
 
-    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        selection = view.select(threshold, inclusive=True)
+        k = selection.count
+        if k == 0:
+            return self._result([], threshold)
+
+        n_left = view.n_left
+        n_total = n_left + view.n_right
+        left = selection.left
+        right = selection.right
+        adjacency = sp.coo_matrix(
+            (np.ones(k, dtype=np.int8), (left, n_left + right)),
+            shape=(n_total, n_total),
+        )
+        _, labels = connected_components(adjacency, directed=False)
+        sizes = np.bincount(labels)
+        keep = sizes[labels[left]] == 2
+
+        # Each surviving component is one (left, right) pair; duplicate
+        # parallel edges collapse through the unique sorted keys, which
+        # also yields the pairs in ascending (left, right) order.
+        keys = np.unique(left[keep] * np.int64(view.n_right) + right[keep])
+        stride = np.int64(view.n_right)
+        pairs = list(
+            zip((keys // stride).tolist(), (keys % stride).tolist())
+        )
+        return self._result(pairs, threshold)
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
         mask = graph.weight >= threshold
         left = graph.left[mask]
         right = graph.right[mask]

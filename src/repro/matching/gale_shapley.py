@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 from repro.matching.base import Matcher, MatchingResult
 
 __all__ = ["GaleShapleyMatching"]
@@ -23,26 +24,52 @@ class GaleShapleyMatching(Matcher):
 
     Men (``V1``) propose in descending edge-weight order, restricted to
     edges above the threshold; women (``V2``) accept when free and
-    trade up only for strictly heavier edges.
+    trade up only for strictly heavier edges.  The compiled kernel
+    reads preferences from the cached full adjacency lists, bounded by
+    the per-threshold prefix lengths of the edge selection; the
+    deferred-acceptance loop is unchanged.
     """
 
     code = "GSM"
     full_name = "Gale-Shapley Stable Marriage"
 
-    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        selection = view.select(threshold, inclusive=False)
+        return self._propose(
+            view.n_left,
+            view.left_adjacency(),
+            selection.left_counts(),
+            threshold,
+        )
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
         preferences: list[list[tuple[int, float]]] = [
             [(j, w) for j, w in neighbours if w > threshold]
             for neighbours in graph.left_adjacency()
         ]
-        next_choice = [0] * graph.n_left
+        limits = [len(prefs) for prefs in preferences]
+        return self._propose(graph.n_left, preferences, limits, threshold)
+
+    def _propose(
+        self,
+        n_left: int,
+        preferences: list[list[tuple[int, float]]],
+        limits: list[int],
+        threshold: float,
+    ) -> MatchingResult:
+        next_choice = [0] * n_left
         fiance: dict[int, int] = {}
         engagement_weight: dict[int, float] = {}
 
-        free_men: deque[int] = deque(range(graph.n_left))
+        free_men: deque[int] = deque(range(n_left))
         while free_men:
             man = free_men.popleft()
             prefs = preferences[man]
-            if next_choice[man] >= len(prefs):
+            if next_choice[man] >= limits[man]:
                 continue  # exhausted: stays single
             woman, weight = prefs[next_choice[man]]
             next_choice[man] += 1

@@ -19,6 +19,7 @@ import numpy as np
 from scipy.optimize import linear_sum_assignment
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 from repro.matching.base import Matcher, MatchingResult
 
 __all__ = ["HungarianMatching"]
@@ -44,7 +45,37 @@ class HungarianMatching(Matcher):
     def __init__(self, max_dense_cells: int = DEFAULT_MAX_DENSE_CELLS) -> None:
         self.max_dense_cells = max_dense_cells
 
-    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        selection = view.select(threshold, inclusive=False)
+        # Scatter in ascending *original* edge order so that parallel
+        # duplicate edges resolve with the same last-write-wins value
+        # as the legacy mask-based construction.
+        indices = selection.original_indices()
+        graph = view.source
+        return self._solve_dense(
+            graph, graph.left[indices], graph.right[indices],
+            graph.weight[indices], threshold,
+        )
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
+        mask = graph.weight > threshold
+        return self._solve_dense(
+            graph, graph.left[mask], graph.right[mask], graph.weight[mask],
+            threshold,
+        )
+
+    def _solve_dense(
+        self,
+        graph: SimilarityGraph,
+        left: np.ndarray,
+        right: np.ndarray,
+        weight: np.ndarray,
+        threshold: float,
+    ) -> MatchingResult:
         if graph.cartesian_size > self.max_dense_cells:
             raise ValueError(
                 "graph too large for the dense Hungarian oracle: "
@@ -55,8 +86,7 @@ class HungarianMatching(Matcher):
             return self._result([], threshold)
 
         matrix = np.zeros((graph.n_left, graph.n_right))
-        mask = graph.weight > threshold
-        matrix[graph.left[mask], graph.right[mask]] = graph.weight[mask]
+        matrix[left, right] = weight
 
         rows, cols = linear_sum_assignment(matrix, maximize=True)
         pairs = [

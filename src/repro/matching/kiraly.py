@@ -20,18 +20,39 @@ from __future__ import annotations
 from collections import deque
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 from repro.matching.base import Matcher, MatchingResult
 
 __all__ = ["KiralyClustering"]
 
 
 class KiralyClustering(Matcher):
-    """KRC per Algorithm 7 of the paper."""
+    """KRC per Algorithm 7 of the paper.
+
+    The compiled kernel reads preferences from the cached full
+    adjacency lists, bounded by the per-threshold prefix lengths of
+    the edge selection (each node's above-threshold neighbours are a
+    prefix of its descending-weight list) — no per-call list
+    filtering; the proposal loop is unchanged.
+    """
 
     code = "KRC"
     full_name = "Kiraly's Clustering"
 
-    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        selection = view.select(threshold, inclusive=False)
+        return self._propose(
+            view.n_left,
+            view.left_adjacency(),
+            selection.left_counts(),
+            threshold,
+        )
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
         n_left = graph.n_left
         left_adjacency = graph.left_adjacency()
 
@@ -41,7 +62,16 @@ class KiralyClustering(Matcher):
             [(j, w) for j, w in neighbours if w > threshold]
             for neighbours in left_adjacency
         ]
+        limits = [len(prefs) for prefs in preferences]
+        return self._propose(n_left, preferences, limits, threshold)
 
+    def _propose(
+        self,
+        n_left: int,
+        preferences: list[list[tuple[int, float]]],
+        limits: list[int],
+        threshold: float,
+    ) -> MatchingResult:
         next_choice = [0] * n_left  # cursor into each preference list
         last_chance = [False] * n_left
         fiance: dict[int, int] = {}  # woman -> engaged man
@@ -51,7 +81,7 @@ class KiralyClustering(Matcher):
         while free_men:
             man = free_men.popleft()
             prefs = preferences[man]
-            if next_choice[man] < len(prefs):
+            if next_choice[man] < limits[man]:
                 woman, weight = prefs[next_choice[man]]
                 next_choice[man] += 1
                 current = fiance.get(woman)
@@ -73,7 +103,7 @@ class KiralyClustering(Matcher):
                 # Second chance: restore the preference list once.
                 last_chance[man] = True
                 next_choice[man] = 0
-                if prefs:
+                if limits[man]:
                     free_men.append(man)
             # else: the man stays unmatched for good.
 

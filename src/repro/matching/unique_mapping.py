@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.compiled import CompiledGraph
 from repro.matching.base import Matcher, MatchingResult
 
 __all__ = ["UniqueMappingClustering"]
@@ -25,13 +26,33 @@ class UniqueMappingClustering(Matcher):
 
     Edges are ordered by decreasing weight with ties broken by
     ascending ``(left, right)`` index, which makes the greedy scan
-    deterministic.
+    deterministic.  That is exactly the compiled graph's global edge
+    permutation, so the compiled kernel replaces the per-call mask +
+    lexsort with a prefix slice and runs only the greedy scan.
     """
 
     code = "UMC"
     full_name = "Unique Mapping Clustering"
 
-    def match(self, graph: SimilarityGraph, threshold: float) -> MatchingResult:
+    def match_compiled(
+        self, view: CompiledGraph, threshold: float
+    ) -> MatchingResult:
+        selection = view.select(threshold, inclusive=False)
+        matched_left: set[int] = set()
+        matched_right: set[int] = set()
+        pairs: list[tuple[int, int]] = []
+        for i, j in zip(selection.left.tolist(), selection.right.tolist()):
+            if i in matched_left or j in matched_right:
+                continue
+            matched_left.add(i)
+            matched_right.add(j)
+            pairs.append((i, j))
+        pairs.sort()
+        return self._result(pairs, threshold)
+
+    def match_legacy(
+        self, graph: SimilarityGraph, threshold: float
+    ) -> MatchingResult:
         mask = graph.weight > threshold
         left = graph.left[mask]
         right = graph.right[mask]

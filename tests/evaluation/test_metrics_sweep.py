@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.evaluation import (
     DEFAULT_THRESHOLD_GRID,
+    GroundTruthIndex,
     evaluate_pairs,
     optimal_threshold,
     threshold_sweep,
@@ -75,6 +76,46 @@ class TestEvaluatePairs:
         scores = evaluate_pairs([(0, 0), (9, 9)], truth)
         low, high = sorted([scores.precision, scores.recall])
         assert low <= scores.f_measure <= high
+
+
+class TestGroundTruthIndex:
+    """The vectorized index must agree with evaluate_pairs exactly."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=15
+        ),
+        st.sets(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=15
+        ),
+    )
+    @settings(max_examples=100)
+    def test_score_equals_evaluate_pairs(self, output, truth):
+        index = GroundTruthIndex(truth)
+        assert index.score(output) == evaluate_pairs(output, truth)
+
+    def test_true_positive_count(self):
+        index = GroundTruthIndex({(0, 0), (1, 1), (2, 2)})
+        assert index.true_positives([(0, 0), (1, 1), (5, 5)]) == 2
+        assert index.true_positives([]) == 0
+        assert index.true_positives([(0, 0), (0, 0)]) == 1
+
+    def test_empty_truth(self):
+        index = GroundTruthIndex(set())
+        assert index.n_truth == 0
+        assert index.score([(0, 0)]) == evaluate_pairs([(0, 0)], set())
+
+    def test_index_reusable_across_evaluations(self):
+        truth = {(i, i) for i in range(8)}
+        index = GroundTruthIndex(truth)
+        for output in ([(0, 0)], [(1, 1), (2, 3)], [], [(7, 7), (9, 0)]):
+            assert index.score(output) == evaluate_pairs(output, truth)
+
+    def test_large_indices_do_not_collide(self):
+        truth = {(2**30, 1), (1, 2**30)}
+        index = GroundTruthIndex(truth)
+        scores = index.score([(2**30, 1), (1, 2**30), (2**30, 2)])
+        assert scores.true_positives == 2
 
 
 class TestSweep:

@@ -1,0 +1,139 @@
+"""Workers-equivalence of the cell-parallel matching sweep driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_matching_sweeps
+from repro.graph import SimilarityGraph
+from repro.matching.registry import PAPER_ALGORITHM_CODES
+from repro.pipeline.workbench import GraphRecord
+
+
+def synthetic_records(n_graphs=3, seed=7):
+    rng = np.random.default_rng(seed)
+    records = []
+    for index in range(n_graphs):
+        m = 100 + 20 * index
+        graph = SimilarityGraph(
+            16,
+            14,
+            rng.integers(0, 16, m),
+            rng.integers(0, 14, m),
+            np.maximum(np.round(rng.random(m), 2), 0.01),
+            name=f"g{index}",
+        )
+        truth = {(int(i), int(i % 14)) for i in range(12)}
+        records.append(
+            GraphRecord(
+                graph=graph,
+                dataset=f"d{index}",
+                family="synthetic",
+                function=f"fn{index}",
+                category="BLC",
+                ground_truth=truth,
+            )
+        )
+    return records
+
+
+CONFIG = ExperimentConfig(bah_max_moves=150, bah_time_limit=60.0)
+
+
+def _flatten(results):
+    return [
+        (
+            result.dataset,
+            code,
+            [
+                (point.threshold, point.scores)
+                for point in sweep.points
+            ],
+        )
+        for result in results
+        for code, sweep in result.sweeps.items()
+    ]
+
+
+class TestRunMatchingSweeps:
+    def test_serial_covers_grid_and_codes(self):
+        results = run_matching_sweeps(synthetic_records(), CONFIG)
+        assert len(results) == 3
+        for result in results:
+            assert tuple(result.sweeps) == PAPER_ALGORITHM_CODES
+            for sweep in result.sweeps.values():
+                assert len(sweep.points) == len(CONFIG.grid)
+
+    def test_results_invariant_under_workers(self):
+        serial = run_matching_sweeps(synthetic_records(), CONFIG, workers=1)
+        parallel = run_matching_sweeps(
+            synthetic_records(), CONFIG, workers=3
+        )
+        assert _flatten(serial) == _flatten(parallel)
+
+    def test_custom_codes_roundtrip(self):
+        codes = ("UMC", "HUN", "GSM")
+        serial = run_matching_sweeps(
+            synthetic_records(1), CONFIG, codes=codes
+        )
+        parallel = run_matching_sweeps(
+            synthetic_records(1), CONFIG, codes=codes, workers=2
+        )
+        assert tuple(serial[0].sweeps) == codes
+        assert _flatten(serial) == _flatten(parallel)
+
+    def test_single_record_single_worker_edge(self):
+        records = synthetic_records(1)
+        results = run_matching_sweeps(records, CONFIG, workers=2)
+        assert len(results) == 1
+        assert tuple(results[0].sweeps) == PAPER_ALGORITHM_CODES
+
+
+class TestCliSweepWorkers:
+    @pytest.fixture
+    def csv_inputs(self, tmp_path):
+        rng = np.random.default_rng(11)
+        graph_path = tmp_path / "graph.csv"
+        truth_path = tmp_path / "truth.csv"
+        lines = ["left,right,weight"]
+        for _ in range(120):
+            lines.append(
+                f"{rng.integers(0, 12)},{rng.integers(0, 12)},"
+                f"{round(float(rng.random()), 2)}"
+            )
+        graph_path.write_text("\n".join(lines))
+        truth_path.write_text(
+            "\n".join(["left,right"] + [f"{i},{i}" for i in range(10)])
+        )
+        return graph_path, truth_path
+
+    def test_sweep_table_invariant_under_workers(self, csv_inputs, capsys):
+        from repro.cli import main
+
+        graph_path, truth_path = csv_inputs
+        assert main(["sweep", str(graph_path), str(truth_path)]) == 0
+        serial_table = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "sweep",
+                    str(graph_path),
+                    str(truth_path),
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        parallel_table = capsys.readouterr().out
+        # Timing columns differ between runs; compare the score columns.
+        def scores_only(table):
+            return [
+                row.split()[:5]
+                for row in table.splitlines()
+                if row and not row.startswith(("Threshold", "-"))
+            ]
+
+        assert scores_only(serial_table) == scores_only(parallel_table)
