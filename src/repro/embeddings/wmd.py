@@ -8,6 +8,16 @@ whose cost lower-bounds WMD; taking the maximum of the two directional
 relaxations tightens the bound and restores symmetry.  RWMD preserves
 the ordering behaviour WMD contributes to the similarity taxonomy at a
 tiny fraction of the cost (see DESIGN.md substitutions).
+
+:func:`relaxed_word_mover_distance` is the scalar reference kernel:
+the all-pairs path
+(:func:`repro.embeddings.measures.word_mover_similarity_matrix`)
+batches the Gram/distance/min stages over token-count buckets but
+keeps this function's exact operation order per pair — the stacked
+``np.matmul`` slices and the final ``np.dot`` reductions reproduce it
+bit for bit, which the differential tests in
+``tests/pipeline/test_kernels.py`` pin down.  Change the arithmetic
+here and the batched kernel must change with it.
 """
 
 from __future__ import annotations

@@ -10,10 +10,13 @@ without re-running anything.
 The sweeps run on the compiled-graph matching engine
 (:mod:`repro.graph.compiled` + ``Matcher.match_compiled``): each graph
 is compiled once and shared by all algorithms and thresholds.  With
-``workers > 1`` the individual ``(graph, algorithm)`` sweep cells are
-distributed over a process pool — the same knob PR 1 introduced for
-corpus generation — and the assembled results are invariant under the
-worker count: cells are independent, every stochastic matcher is
+``workers > 1`` whole graphs are distributed over a process pool — the
+same knob PR 1 introduced for corpus generation — one task (and one
+graph pickle) per graph instead of one per ``(graph, algorithm)``
+cell, so a corpus of large graphs crosses the process boundary once
+per graph and the compiled artifacts are shared by all ten algorithms
+inside the worker.  The assembled results are invariant under the
+worker count: graphs are independent, every stochastic matcher is
 seeded per cell, and assembly follows the deterministic
 ``(graph index, algorithm order)`` grid.
 """
@@ -77,9 +80,8 @@ def run_experiments(
 
     ``workers`` parallelizes both stages: corpus generation (see
     :func:`repro.pipeline.workbench.generate_corpus`) and the
-    per-``(graph, algorithm)`` matching sweeps (see
-    :func:`run_matching_sweeps`).  It has no effect on the results or
-    on any cache key.
+    per-graph matching sweeps (see :func:`run_matching_sweeps`).  It
+    has no effect on the results or on any cache key.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
@@ -116,46 +118,61 @@ def run_matching_sweeps(
 ) -> list[GraphRunResult]:
     """Threshold-sweep every algorithm over every corpus record.
 
-    The unit of parallel work is one ``(graph, algorithm)`` sweep
-    cell.  With ``workers > 1`` the cells run on a process pool;
-    results are assembled on the deterministic ``(record index,
-    algorithm order)`` grid, so the output is identical to a serial
-    run for any worker count.
+    The unit of parallel work is one *graph*: with ``workers > 1``
+    each record is submitted to the process pool once — one graph
+    pickle carrying all algorithm sweeps — instead of once per
+    ``(graph, algorithm)`` cell, so large graphs cross the process
+    boundary a single time and the worker's compiled-graph artifacts
+    are shared by every algorithm.  A single-record corpus falls back
+    to one task per algorithm so the pool is still used.  Results are
+    assembled on the deterministic ``(record index, algorithm order)``
+    grid, so the output is identical to a serial run for any worker
+    count.
     """
-    if workers > 1 and len(records) * len(codes) > 1:
-        cells = [
-            (index, code)
-            for index in range(len(records))
-            for code in codes
-        ]
+    if workers > 1 and len(records) == 1 and len(codes) > 1:
+        # A lone graph cannot be split by record; fall back to one
+        # task per algorithm so the pool still has work (the graph is
+        # pickled per algorithm, but there is only one graph to ship).
+        record = records[0]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            code_futures = [
+                pool.submit(
+                    _sweep_graph,
+                    record.graph,
+                    record.ground_truth,
+                    (code,),
+                    config,
+                )
+                for code in codes
+            ]
+            merged: dict[str, SweepResult] = {}
+            for future in code_futures:
+                merged.update(future.result())
+        sweeps = {code: merged[code] for code in codes}
+        if progress:
+            _print_progress(record, sweeps)
+        all_sweeps = [sweeps]
+    elif workers > 1 and len(records) > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(
-                    _sweep_cell,
-                    records[index].graph,
-                    records[index].ground_truth,
-                    code,
+                    _sweep_graph,
+                    record.graph,
+                    record.ground_truth,
+                    codes,
                     config,
-                ): (index, code)
-                for index, code in cells
+                ): index
+                for index, record in enumerate(records)
             }
-            grid: dict[tuple[int, str], SweepResult] = {}
-            pending = {index: len(codes) for index in range(len(records))}
+            by_index: dict[int, dict[str, SweepResult]] = {}
             for future in as_completed(futures):
-                index, code = futures[future]
-                grid[(index, code)] = future.result()
-                pending[index] -= 1
-                if progress and pending[index] == 0:
-                    # Stream each graph as its last cell lands (cells
-                    # finish out of order; completed graphs may too).
-                    _print_progress(
-                        records[index],
-                        {c: grid[(index, c)] for c in codes},
-                    )
-        all_sweeps = [
-            {code: grid[(index, code)] for code in codes}
-            for index in range(len(records))
-        ]
+                index = futures[future]
+                by_index[index] = future.result()
+                if progress:
+                    # Stream each graph as it lands (possibly out of
+                    # submission order).
+                    _print_progress(records[index], by_index[index])
+        all_sweeps = [by_index[index] for index in range(len(records))]
     else:
         all_sweeps = []
         for record in records:
@@ -199,16 +216,24 @@ def _print_progress(record: GraphRecord, sweeps: dict[str, SweepResult]):
     )
 
 
-def _sweep_cell(
+def _sweep_graph(
     graph: SimilarityGraph,
     ground_truth: set[tuple[int, int]],
-    code: str,
+    codes: tuple[str, ...],
     config: ExperimentConfig,
-) -> SweepResult:
-    """One process-pool work unit: a full sweep of one algorithm."""
-    return _sweep_algorithm(
-        code, graph, ground_truth, config, GroundTruthIndex(ground_truth)
-    )
+) -> dict[str, SweepResult]:
+    """One process-pool work unit: all algorithm sweeps of one graph.
+
+    The ground-truth index and the compiled-graph artifacts are built
+    once in the worker and shared by every algorithm.
+    """
+    truth_index = GroundTruthIndex(ground_truth)
+    return {
+        code: _sweep_algorithm(
+            code, graph, ground_truth, config, truth_index
+        )
+        for code in codes
+    }
 
 
 def _sweep_algorithm(

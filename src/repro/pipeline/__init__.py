@@ -11,8 +11,10 @@ four families of similarity graphs the paper evaluates:
 
 No blocking is applied: *all* entity pairs with similarity above zero
 become edges, exactly as in the paper's protocol.  The all-pairs
-computations are vectorized (see :mod:`repro.pipeline.batched_strings`)
-and corpus generation shares expensive artifacts across functions (see
+computations run on the deduplicated, blocked, thread-parallel
+pairwise-kernel engine (:mod:`repro.pipeline.kernels`, consumed by
+:mod:`repro.pipeline.batched_strings`), and corpus generation shares
+expensive artifacts across functions (see
 :mod:`repro.pipeline.engine`) so the protocol stays laptop-feasible.
 """
 
@@ -22,6 +24,7 @@ from repro.pipeline.engine import (
     SpecGroup,
     group_specs,
 )
+from repro.pipeline.kernels import UniquePlan, kernel_threads
 from repro.pipeline.graph_builder import matrix_to_graph
 from repro.pipeline.similarity_functions import (
     FAMILIES,
@@ -50,4 +53,6 @@ __all__ = [
     "GraphCorpusConfig",
     "GraphRecord",
     "generate_corpus",
+    "UniquePlan",
+    "kernel_threads",
 ]

@@ -3,28 +3,38 @@
 The paper's protocol compares *every* pair of attribute values (no
 blocking), which makes per-pair dynamic programming in Python the
 bottleneck.  This module provides all-pairs matrix versions of the 16
-schema-based measures:
+schema-based measures, all routed through the pairwise-kernel engine
+of :mod:`repro.pipeline.kernels`:
 
+* every measure first factors the pair grid down to *unique* value
+  pairs (:class:`~repro.pipeline.kernels.UniquePlan`) and scatters the
+  unique-grid result back with ``np.ix_`` — duplicated attribute
+  values are computed once;
 * the alignment measures (Levenshtein, Damerau-Levenshtein,
-  Needleman-Wunsch, LCS substring/subsequence) run one DP per *left*
-  string against **all** right strings simultaneously, with numpy rows
-  of shape ``(n_right, max_len)``.  The in-row dependency of the
-  insert operation is resolved with the classic min-accumulate trick:
-  ``row[j] = min_k<=j (cand[k] + gap*(j-k))``.
-* the token measures are expressed over sparse token-count matrices,
-  re-using the machinery of :mod:`repro.vectorspace`;
-* q-grams distance uses sparse padded-trigram profiles;
-* Jaro and Monge-Elkan iterate pairs (both are cheap per pair;
-  Monge-Elkan memoizes token-level Smith-Waterman scores, which repeat
-  heavily across pairs).
+  Needleman-Wunsch, LCS substring/subsequence) run length-sorted,
+  cache-blocked DPs that advance **all** left strings of a block
+  against all right strings per step, optionally on a thread pool;
+* Jaro runs as a batched array kernel (vectorized greedy matching +
+  one transposition count from cumulative match ranks);
+* Monge-Elkan computes one Smith-Waterman grid over the unique token
+  vocabularies and reduces it with ``np.maximum.reduceat`` plus a
+  strict left fold per token-count bucket;
+* the token measures are expressed over sparse token-count matrices
+  of the unique values, re-using :mod:`repro.vectorspace` machinery;
+* q-grams distance uses sparse padded-trigram profiles of the unique
+  values.
 
 Convention: pairs where **either** value is empty get similarity 0 —
 an absent value carries no matching evidence (the scalar measures in
 :mod:`repro.textsim` keep the measure-level "both empty = identical"
 convention; the graph builder needs the evidence-level one).
 
-Every function here is differentially tested against its scalar
-counterpart in ``tests/pipeline/test_batched_strings.py``.
+The pre-kernel-engine implementations are frozen as ``*_legacy``
+(dispatch via :func:`schema_based_matrix_legacy`); the kernel path is
+**bit-identical** to them — differential tests live in
+``tests/pipeline/test_kernels.py`` and
+``tests/pipeline/test_batched_strings.py``, and
+``benchmarks/bench_kernel_engine.py`` guards the speedup.
 """
 
 from __future__ import annotations
@@ -35,6 +45,17 @@ from functools import cached_property
 import numpy as np
 from scipy import sparse
 
+from repro.pipeline.kernels import (
+    UniquePlan,
+    edit_distance_unique,
+    encode_strings,
+    jaro_unique,
+    lcs_subsequence_unique,
+    lcs_substring_unique,
+    monge_elkan_unique,
+    needleman_wunsch_unique,
+    smith_waterman_grid,
+)
 from repro.textsim.character import _padded_trigrams
 from repro.textsim.smith_waterman import smith_waterman_similarity
 from repro.textsim.character import jaro_similarity
@@ -55,28 +76,127 @@ __all__ = [
     "token_measure_matrix",
     "TOKEN_MATRIX_MEASURES",
     "schema_based_matrix",
+    "jaro_matrix_legacy",
+    "monge_elkan_matrix_legacy",
+    "schema_based_matrix_legacy",
 ]
 
 
 class StringBatch:
     """Shared per-``(lefts, rights)`` artifacts of the 16 measures.
 
-    The alignment measures all consume the same encoded code-point
-    matrix of the right strings; the eight token measures all consume
-    the same sparse token-count matrices; Monge-Elkan consumes the
-    token lists.  A batch computes each artifact lazily on first use
-    and keeps it, so computing several measures over the same value
-    pair (one attribute of one dataset) encodes/tokenizes only once.
+    The kernel path consumes the *unique-universe* artifacts: the
+    :class:`UniquePlan`, the encoded code-point matrices of the unique
+    values (alignment measures and Jaro), the sparse token-count
+    matrices of the unique values (token measures), the unique padded
+    trigram profiles (q-grams) and the Smith-Waterman token grid
+    (Monge-Elkan).  The full-universe artifacts consumed by the frozen
+    ``*_legacy`` bodies remain available.  Every artifact is computed
+    lazily on first use and kept, so computing several measures over
+    the same value pair (one attribute of one dataset) encodes and
+    tokenizes only once.
     """
 
     def __init__(self, lefts: list[str], rights: list[str]) -> None:
         self.lefts = lefts
         self.rights = rights
 
+    # ------------------------------------------------ unique universe
+    @cached_property
+    def plan(self) -> UniquePlan:
+        """Unique-value execution plan shared by every measure."""
+        return UniquePlan.build(self.lefts, self.rights)
+
+    @cached_property
+    def unique_left_encoding(self) -> tuple[np.ndarray, np.ndarray]:
+        """Code-point matrix and lengths of the unique left values."""
+        return encode_strings(self.plan.lefts)
+
+    @cached_property
+    def unique_right_encoding(self) -> tuple[np.ndarray, np.ndarray]:
+        """Code-point matrix and lengths of the unique right values."""
+        return encode_strings(self.plan.rights)
+
+    @cached_property
+    def unique_empty_mask(self) -> np.ndarray:
+        """True where either side of the *unique* pair is empty."""
+        return _empty_mask(list(self.plan.lefts), list(self.plan.rights))
+
+    @cached_property
+    def unique_token_lists(
+        self,
+    ) -> tuple[list[list[str]], list[list[str]]]:
+        """Tokenized unique values of both sides."""
+        return (
+            [tokens(s) for s in self.plan.lefts],
+            [tokens(s) for s in self.plan.rights],
+        )
+
+    @cached_property
+    def unique_token_sparse(
+        self,
+    ) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """Sparse token-count matrices of the unique values.
+
+        The vocabulary is built in first-occurrence order over the
+        unique values, which is exactly the key order the full-list
+        construction produces — row contents (and therefore the
+        summation order of every sparse product) match the legacy
+        path bit for bit.
+        """
+        lists_left, lists_right = self.unique_token_lists
+        return _profiles_to_sparse(
+            [Counter(words) for words in lists_left],
+            [Counter(words) for words in lists_right],
+        )
+
+    @cached_property
+    def unique_token_binary(
+        self,
+    ) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """Binary (presence) versions of :attr:`unique_token_sparse`."""
+        return _binarize(*self.unique_token_sparse)
+
+    @cached_property
+    def unique_token_sums(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(bag_left, bag_right, set_left, set_right)`` row sums."""
+        return _token_sums(
+            *self.unique_token_sparse, *self.unique_token_binary
+        )
+
+    @cached_property
+    def unique_qgram_sparse(
+        self,
+    ) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """Padded-trigram profile matrices of the unique values."""
+        return _profiles_to_sparse(
+            [_padded_trigrams(s) if s else Counter() for s in self.plan.lefts],
+            [
+                _padded_trigrams(s) if s else Counter()
+                for s in self.plan.rights
+            ],
+        )
+
+    @cached_property
+    def monge_elkan_grid(
+        self,
+    ) -> tuple[list[np.ndarray], list[np.ndarray], np.ndarray]:
+        """Per-value token-id lists plus the unique-token SW grid."""
+        lists_left, lists_right = self.unique_token_lists
+        vocab_left, ids_left = _token_vocabulary(lists_left)
+        vocab_right, ids_right = _token_vocabulary(lists_right)
+        grid = smith_waterman_grid(
+            *encode_strings(vocab_left), *encode_strings(vocab_right)
+        )
+        return ids_left, ids_right, grid
+
+    # ------------------------------------------- full universe (legacy)
     @cached_property
     def encoded_rights(self) -> tuple[np.ndarray, np.ndarray]:
-        """Code-point matrix and lengths of the right strings."""
-        return _encode(self.rights)
+        """Code-point matrix and lengths of all right strings."""
+        return encode_strings(self.rights)
 
     @cached_property
     def empty_mask(self) -> np.ndarray:
@@ -103,42 +223,58 @@ class StringBatch:
     @cached_property
     def token_binary(self) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
         """Binary (presence) versions of :attr:`token_sparse`."""
-        matrix_left, matrix_right = self.token_sparse
-        binary_left = matrix_left.copy()
-        binary_left.data = np.ones_like(binary_left.data)
-        binary_right = matrix_right.copy()
-        binary_right.data = np.ones_like(binary_right.data)
-        return binary_left, binary_right
+        return _binarize(*self.token_sparse)
 
     @cached_property
     def token_sums(
         self,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """``(bag_left, bag_right, set_left, set_right)`` row sums."""
-        matrix_left, matrix_right = self.token_sparse
-        binary_left, binary_right = self.token_binary
-        return (
-            matrix_left.sum(axis=1).A1,
-            matrix_right.sum(axis=1).A1,
-            binary_left.sum(axis=1).A1,
-            binary_right.sum(axis=1).A1,
-        )
+        return _token_sums(*self.token_sparse, *self.token_binary)
 
 
-def _encode(strings: list[str]) -> tuple[np.ndarray, np.ndarray]:
-    """Pad strings into an int32 code-point matrix plus lengths.
+def _binarize(matrix_left, matrix_right):
+    binary_left = matrix_left.copy()
+    binary_left.data = np.ones_like(binary_left.data)
+    binary_right = matrix_right.copy()
+    binary_right.data = np.ones_like(binary_right.data)
+    return binary_left, binary_right
 
-    Padding uses ``-1``, which never equals a real code point.
+
+def _token_sums(matrix_left, matrix_right, binary_left, binary_right):
+    return (
+        matrix_left.sum(axis=1).A1,
+        matrix_right.sum(axis=1).A1,
+        binary_left.sum(axis=1).A1,
+        binary_right.sum(axis=1).A1,
+    )
+
+
+def _token_vocabulary(
+    token_lists: list[list[str]],
+) -> tuple[list[str], list[np.ndarray]]:
+    """First-occurrence token vocabulary plus per-value id arrays.
+
+    Id arrays keep duplicates in text order — the order the scalar
+    Monge-Elkan fold consumes them in.
     """
-    lengths = np.array([len(s) for s in strings], dtype=np.int64)
-    max_len = int(lengths.max()) if len(strings) else 0
-    codes = np.full((len(strings), max_len), -1, dtype=np.int32)
-    for row, text in enumerate(strings):
-        if text:
-            codes[row, : len(text)] = np.frombuffer(
-                text.encode("utf-32-le"), dtype=np.uint32
-            ).astype(np.int32)
-    return codes, lengths
+    vocabulary: dict[str, int] = {}
+    ids: list[np.ndarray] = []
+    for words in token_lists:
+        row = np.empty(len(words), dtype=np.intp)
+        for position, word in enumerate(words):
+            slot = vocabulary.get(word)
+            if slot is None:
+                slot = len(vocabulary)
+                vocabulary[word] = slot
+            row[position] = slot
+        ids.append(row)
+    return list(vocabulary), ids
+
+
+# _encode is kept as an alias of the shared kernel helper: older call
+# sites and tests import it from this module.
+_encode = encode_strings
 
 
 def _empty_mask(lefts: list[str], rights: list[str]) -> np.ndarray:
@@ -156,13 +292,29 @@ def _scan_min(row: np.ndarray, step: float) -> np.ndarray:
     return shifted + offsets
 
 
+def _resolve_batch(
+    lefts: list[str], rights: list[str], batch: StringBatch | None
+) -> StringBatch:
+    return batch if batch is not None else StringBatch(lefts, rights)
+
+
+# ----------------------------------------------------------------------
+# Kernel-engine paths
+# ----------------------------------------------------------------------
 def levenshtein_matrix(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
     """All-pairs normalized Levenshtein similarity."""
-    return _edit_distance_matrix(lefts, rights, False, batch)
+    batch = _resolve_batch(lefts, rights, batch)
+    return batch.plan.expand(
+        edit_distance_unique(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            transpositions=False,
+        )
+    )
 
 
 def damerau_levenshtein_matrix(
@@ -171,17 +323,244 @@ def damerau_levenshtein_matrix(
     batch: StringBatch | None = None,
 ) -> np.ndarray:
     """All-pairs normalized Damerau-Levenshtein (OSA) similarity."""
-    return _edit_distance_matrix(lefts, rights, True, batch)
+    batch = _resolve_batch(lefts, rights, batch)
+    return batch.plan.expand(
+        edit_distance_unique(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            transpositions=True,
+        )
+    )
 
 
-def _edit_distance_matrix(
+def needleman_wunsch_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs Needleman-Wunsch similarity (mismatch 1, gap 2)."""
+    batch = _resolve_batch(lefts, rights, batch)
+    return batch.plan.expand(
+        needleman_wunsch_unique(
+            *batch.unique_left_encoding, *batch.unique_right_encoding
+        )
+    )
+
+
+def lcs_subsequence_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs longest-common-subsequence similarity."""
+    batch = _resolve_batch(lefts, rights, batch)
+    return batch.plan.expand(
+        lcs_subsequence_unique(
+            *batch.unique_left_encoding, *batch.unique_right_encoding
+        )
+    )
+
+
+def lcs_substring_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs longest-common-substring similarity."""
+    batch = _resolve_batch(lefts, rights, batch)
+    return batch.plan.expand(
+        lcs_substring_unique(
+            *batch.unique_left_encoding, *batch.unique_right_encoding
+        )
+    )
+
+
+def jaro_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs Jaro similarity (batched unique-grid kernel)."""
+    batch = _resolve_batch(lefts, rights, batch)
+    return batch.plan.expand(
+        jaro_unique(
+            *batch.unique_left_encoding, *batch.unique_right_encoding
+        )
+    )
+
+
+def qgrams_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs q-grams distance similarity via sparse profiles."""
+    batch = _resolve_batch(lefts, rights, batch)
+    n_left, n_right = len(batch.lefts), len(batch.rights)
+    if n_left == 0 or n_right == 0:
+        return np.zeros((n_left, n_right))
+    result = _qgrams_values(*batch.unique_qgram_sparse)
+    result[batch.unique_empty_mask] = 0.0
+    return np.clip(batch.plan.expand(result), 0.0, 1.0)
+
+
+def monge_elkan_matrix(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs Monge-Elkan over the unique-token-pair SW grid."""
+    batch = _resolve_batch(lefts, rights, batch)
+    ids_left, ids_right, grid = batch.monge_elkan_grid
+    return np.clip(
+        batch.plan.expand(monge_elkan_unique(ids_left, ids_right, grid)),
+        0.0,
+        1.0,
+    )
+
+
+def token_measure_matrix(
+    lefts: list[str],
+    rights: list[str],
+    measure: str,
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """All-pairs token measure over sparse token-count vectors.
+
+    ``measure`` is one of ``TOKEN_MATRIX_MEASURES``.
+    """
+    _check_token_measure(measure)
+    batch = _resolve_batch(lefts, rights, batch)
+    n_left, n_right = len(batch.lefts), len(batch.rights)
+    if n_left == 0 or n_right == 0:
+        return np.zeros((n_left, n_right))
+    result = _token_measure_values(
+        measure,
+        *batch.unique_token_sparse,
+        *batch.unique_token_binary,
+        batch.unique_token_sums,
+    )
+    result[batch.unique_empty_mask] = 0.0
+    return np.clip(batch.plan.expand(result), 0.0, 1.0)
+
+
+def _check_token_measure(measure: str) -> None:
+    if measure not in TOKEN_MATRIX_MEASURES:
+        known = ", ".join(sorted(TOKEN_MATRIX_MEASURES))
+        raise KeyError(f"unknown token measure {measure!r}; known: {known}")
+
+
+# ----------------------------------------------------------------------
+# Measure formulas shared by the kernel and legacy paths
+# ----------------------------------------------------------------------
+def _qgrams_values(matrix_left, matrix_right) -> np.ndarray:
+    minimum = pairwise_min_sum(matrix_left, matrix_right)
+    sums_left = matrix_left.sum(axis=1).A1
+    sums_right = matrix_right.sum(axis=1).A1
+    total = sums_left[:, None] + sums_right[None, :]
+    # block distance = total - 2*min; similarity = 1 - distance/total.
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(total > 0, 2.0 * minimum / total, 0.0)
+
+
+def _token_measure_values(
+    measure: str,
+    matrix_left,
+    matrix_right,
+    binary_left,
+    binary_right,
+    sums,
+) -> np.ndarray:
+    bag_left, bag_right, set_left, set_right = sums
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if measure == "cosine_tokens":
+            norms_left = np.sqrt(
+                matrix_left.multiply(matrix_left).sum(axis=1)
+            ).A1
+            norms_right = np.sqrt(
+                matrix_right.multiply(matrix_right).sum(axis=1)
+            ).A1
+            dot = np.asarray((matrix_left @ matrix_right.T).todense())
+            denominator = norms_left[:, None] * norms_right[None, :]
+            result = np.where(denominator > 0, dot / denominator, 0.0)
+        elif measure == "euclidean_tokens":
+            sq_left = matrix_left.multiply(matrix_left).sum(axis=1).A1
+            sq_right = matrix_right.multiply(matrix_right).sum(axis=1).A1
+            dot = np.asarray((matrix_left @ matrix_right.T).todense())
+            squared = sq_left[:, None] + sq_right[None, :] - 2.0 * dot
+            distance = np.sqrt(np.maximum(squared, 0.0))
+            bound = np.sqrt(sq_left[:, None] + sq_right[None, :])
+            result = np.where(bound > 0, 1.0 - distance / bound, 0.0)
+        elif measure == "block_distance":
+            minimum = pairwise_min_sum(matrix_left, matrix_right)
+            total = bag_left[:, None] + bag_right[None, :]
+            result = np.where(total > 0, 2.0 * minimum / total, 0.0)
+        elif measure == "dice":
+            intersection = np.asarray(
+                (binary_left @ binary_right.T).todense()
+            )
+            total = set_left[:, None] + set_right[None, :]
+            result = np.where(total > 0, 2.0 * intersection / total, 0.0)
+        elif measure == "simon_white":
+            minimum = pairwise_min_sum(matrix_left, matrix_right)
+            total = bag_left[:, None] + bag_right[None, :]
+            result = np.where(total > 0, 2.0 * minimum / total, 0.0)
+        elif measure == "overlap":
+            intersection = np.asarray(
+                (binary_left @ binary_right.T).todense()
+            )
+            smaller = np.minimum.outer(set_left, set_right)
+            result = np.where(smaller > 0, intersection / smaller, 0.0)
+        elif measure == "jaccard":
+            intersection = np.asarray(
+                (binary_left @ binary_right.T).todense()
+            )
+            union = set_left[:, None] + set_right[None, :] - intersection
+            result = np.where(union > 0, intersection / union, 0.0)
+        else:  # generalized_jaccard
+            minimum = pairwise_min_sum(matrix_left, matrix_right)
+            maximum = bag_left[:, None] + bag_right[None, :] - minimum
+            result = np.where(maximum > 0, minimum / maximum, 0.0)
+    return result
+
+
+def _profiles_to_sparse(
+    profiles_left: list[Counter], profiles_right: list[Counter]
+) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
+    vocabulary: dict[str, int] = {}
+    for profile in profiles_left:
+        for key in profile:
+            vocabulary.setdefault(key, len(vocabulary))
+    for profile in profiles_right:
+        for key in profile:
+            vocabulary.setdefault(key, len(vocabulary))
+
+    def assemble(profiles: list[Counter]) -> sparse.csr_matrix:
+        rows, cols, values = [], [], []
+        for row, profile in enumerate(profiles):
+            for key, count in profile.items():
+                rows.append(row)
+                cols.append(vocabulary[key])
+                values.append(float(count))
+        return sparse.csr_matrix(
+            (values, (rows, cols)),
+            shape=(len(profiles), len(vocabulary)),
+            dtype=np.float64,
+        )
+
+    return assemble(profiles_left), assemble(profiles_right)
+
+
+# ----------------------------------------------------------------------
+# Frozen pre-kernel-engine bodies (differential references)
+# ----------------------------------------------------------------------
+def _edit_distance_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     transpositions: bool,
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    batch = _resolve_batch(lefts, rights, batch)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
@@ -225,17 +604,34 @@ def _edit_distance_matrix(
     return np.clip(result, 0.0, 1.0)
 
 
-_NW_GAP = 2.0
-
-
-def needleman_wunsch_matrix(
+def levenshtein_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs Needleman-Wunsch similarity (mismatch 1, gap 2)."""
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    """Frozen per-left-row Levenshtein (pre-kernel-engine)."""
+    return _edit_distance_matrix_legacy(lefts, rights, False, batch)
+
+
+def damerau_levenshtein_matrix_legacy(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """Frozen per-left-row Damerau-Levenshtein (pre-kernel-engine)."""
+    return _edit_distance_matrix_legacy(lefts, rights, True, batch)
+
+
+_NW_GAP = 2.0
+
+
+def needleman_wunsch_matrix_legacy(
+    lefts: list[str],
+    rights: list[str],
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """Frozen per-left-row Needleman-Wunsch (pre-kernel-engine)."""
+    batch = _resolve_batch(lefts, rights, batch)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
@@ -269,14 +665,13 @@ def needleman_wunsch_matrix(
     return np.clip(result, 0.0, 1.0)
 
 
-def lcs_subsequence_matrix(
+def lcs_subsequence_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs longest-common-subsequence similarity."""
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    """Frozen per-left-row LCS subsequence (pre-kernel-engine)."""
+    batch = _resolve_batch(lefts, rights, batch)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
@@ -306,14 +701,13 @@ def lcs_subsequence_matrix(
     return np.clip(result, 0.0, 1.0)
 
 
-def lcs_substring_matrix(
+def lcs_substring_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs longest-common-substring similarity."""
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    """Frozen per-left-row LCS substring (pre-kernel-engine)."""
+    batch = _resolve_batch(lefts, rights, batch)
     n_left, n_right = len(lefts), len(rights)
     result = np.zeros((n_left, n_right))
     if n_left == 0 or n_right == 0:
@@ -339,12 +733,12 @@ def lcs_substring_matrix(
     return np.clip(result, 0.0, 1.0)
 
 
-def jaro_matrix(
+def jaro_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs Jaro similarity (per-pair; O(len) each)."""
+    """Frozen per-pair scalar Jaro loop (pre-kernel-engine)."""
     result = np.zeros((len(lefts), len(rights)))
     for i, a in enumerate(lefts):
         if not a:
@@ -355,41 +749,32 @@ def jaro_matrix(
     return result
 
 
-def qgrams_matrix(
+def qgrams_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs q-grams distance similarity via sparse profiles."""
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    """Frozen full-universe q-grams distance (pre-kernel-engine)."""
+    batch = _resolve_batch(lefts, rights, batch)
     n_left, n_right = len(lefts), len(rights)
     if n_left == 0 or n_right == 0:
         return np.zeros((n_left, n_right))
-    profiles_left = [_padded_trigrams(s) if s else Counter() for s in lefts]
-    profiles_right = [_padded_trigrams(s) if s else Counter() for s in rights]
     matrix_left, matrix_right = _profiles_to_sparse(
-        profiles_left, profiles_right
+        [_padded_trigrams(s) if s else Counter() for s in lefts],
+        [_padded_trigrams(s) if s else Counter() for s in rights],
     )
-    minimum = pairwise_min_sum(matrix_left, matrix_right)
-    sums_left = matrix_left.sum(axis=1).A1
-    sums_right = matrix_right.sum(axis=1).A1
-    total = sums_left[:, None] + sums_right[None, :]
-    # block distance = total - 2*min; similarity = 1 - distance/total.
-    with np.errstate(invalid="ignore", divide="ignore"):
-        result = np.where(total > 0, 2.0 * minimum / total, 0.0)
+    result = _qgrams_values(matrix_left, matrix_right)
     result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
 
-def monge_elkan_matrix(
+def monge_elkan_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs Monge-Elkan with memoized Smith-Waterman scores."""
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    """Frozen per-pair Monge-Elkan with memoized SW scores."""
+    batch = _resolve_batch(lefts, rights, batch)
     token_lists_left, token_lists_right = batch.token_lists
     cache: dict[tuple[str, str], float] = {}
 
@@ -415,97 +800,24 @@ def monge_elkan_matrix(
     return np.clip(result, 0.0, 1.0)
 
 
-def _profiles_to_sparse(
-    profiles_left: list[Counter], profiles_right: list[Counter]
-) -> tuple[sparse.csr_matrix, sparse.csr_matrix]:
-    vocabulary: dict[str, int] = {}
-    for profile in profiles_left:
-        for key in profile:
-            vocabulary.setdefault(key, len(vocabulary))
-    for profile in profiles_right:
-        for key in profile:
-            vocabulary.setdefault(key, len(vocabulary))
-
-    def assemble(profiles: list[Counter]) -> sparse.csr_matrix:
-        rows, cols, values = [], [], []
-        for row, profile in enumerate(profiles):
-            for key, count in profile.items():
-                rows.append(row)
-                cols.append(vocabulary[key])
-                values.append(float(count))
-        return sparse.csr_matrix(
-            (values, (rows, cols)),
-            shape=(len(profiles), len(vocabulary)),
-            dtype=np.float64,
-        )
-
-    return assemble(profiles_left), assemble(profiles_right)
-
-
-def token_measure_matrix(
+def token_measure_matrix_legacy(
     lefts: list[str],
     rights: list[str],
     measure: str,
     batch: StringBatch | None = None,
 ) -> np.ndarray:
-    """All-pairs token measure over sparse token-count vectors.
-
-    ``measure`` is one of ``TOKEN_MATRIX_MEASURES``.
-    """
-    if measure not in TOKEN_MATRIX_MEASURES:
-        known = ", ".join(sorted(TOKEN_MATRIX_MEASURES))
-        raise KeyError(f"unknown token measure {measure!r}; known: {known}")
-    if batch is None:
-        batch = StringBatch(lefts, rights)
+    """Frozen full-universe token measures (pre-kernel-engine)."""
+    _check_token_measure(measure)
+    batch = _resolve_batch(lefts, rights, batch)
     n_left, n_right = len(lefts), len(rights)
     if n_left == 0 or n_right == 0:
         return np.zeros((n_left, n_right))
-    matrix_left, matrix_right = batch.token_sparse
-    binary_left, binary_right = batch.token_binary
-    bag_left, bag_right, set_left, set_right = batch.token_sums
-
-    with np.errstate(invalid="ignore", divide="ignore"):
-        if measure == "cosine_tokens":
-            norms_left = np.sqrt(matrix_left.multiply(matrix_left).sum(axis=1)).A1
-            norms_right = np.sqrt(
-                matrix_right.multiply(matrix_right).sum(axis=1)
-            ).A1
-            dot = np.asarray((matrix_left @ matrix_right.T).todense())
-            denominator = norms_left[:, None] * norms_right[None, :]
-            result = np.where(denominator > 0, dot / denominator, 0.0)
-        elif measure == "euclidean_tokens":
-            sq_left = matrix_left.multiply(matrix_left).sum(axis=1).A1
-            sq_right = matrix_right.multiply(matrix_right).sum(axis=1).A1
-            dot = np.asarray((matrix_left @ matrix_right.T).todense())
-            squared = sq_left[:, None] + sq_right[None, :] - 2.0 * dot
-            distance = np.sqrt(np.maximum(squared, 0.0))
-            bound = np.sqrt(sq_left[:, None] + sq_right[None, :])
-            result = np.where(bound > 0, 1.0 - distance / bound, 0.0)
-        elif measure == "block_distance":
-            minimum = pairwise_min_sum(matrix_left, matrix_right)
-            total = bag_left[:, None] + bag_right[None, :]
-            result = np.where(total > 0, 2.0 * minimum / total, 0.0)
-        elif measure == "dice":
-            intersection = np.asarray((binary_left @ binary_right.T).todense())
-            total = set_left[:, None] + set_right[None, :]
-            result = np.where(total > 0, 2.0 * intersection / total, 0.0)
-        elif measure == "simon_white":
-            minimum = pairwise_min_sum(matrix_left, matrix_right)
-            total = bag_left[:, None] + bag_right[None, :]
-            result = np.where(total > 0, 2.0 * minimum / total, 0.0)
-        elif measure == "overlap":
-            intersection = np.asarray((binary_left @ binary_right.T).todense())
-            smaller = np.minimum.outer(set_left, set_right)
-            result = np.where(smaller > 0, intersection / smaller, 0.0)
-        elif measure == "jaccard":
-            intersection = np.asarray((binary_left @ binary_right.T).todense())
-            union = set_left[:, None] + set_right[None, :] - intersection
-            result = np.where(union > 0, intersection / union, 0.0)
-        else:  # generalized_jaccard
-            minimum = pairwise_min_sum(matrix_left, matrix_right)
-            maximum = bag_left[:, None] + bag_right[None, :] - minimum
-            result = np.where(maximum > 0, minimum / maximum, 0.0)
-
+    result = _token_measure_values(
+        measure,
+        *batch.token_sparse,
+        *batch.token_binary,
+        batch.token_sums,
+    )
     result[batch.empty_mask] = 0.0
     return np.clip(result, 0.0, 1.0)
 
@@ -522,7 +834,7 @@ TOKEN_MATRIX_MEASURES = (
     "generalized_jaccard",
 )
 
-#: Measures whose DP shares the encoded right-string matrix.
+#: Measures whose DP shares the encoded code-point matrices.
 ALIGNMENT_MEASURES = (
     "levenshtein",
     "damerau_levenshtein",
@@ -542,6 +854,17 @@ _MATRIX_FUNCTIONS = {
     "monge_elkan": monge_elkan_matrix,
 }
 
+_LEGACY_MATRIX_FUNCTIONS = {
+    "levenshtein": levenshtein_matrix_legacy,
+    "damerau_levenshtein": damerau_levenshtein_matrix_legacy,
+    "needleman_wunsch": needleman_wunsch_matrix_legacy,
+    "lcs_subsequence": lcs_subsequence_matrix_legacy,
+    "lcs_substring": lcs_substring_matrix_legacy,
+    "jaro": jaro_matrix_legacy,
+    "qgrams": qgrams_matrix_legacy,
+    "monge_elkan": monge_elkan_matrix_legacy,
+}
+
 
 def schema_based_matrix(
     lefts: list[str],
@@ -558,3 +881,22 @@ def schema_based_matrix(
     if function is not None:
         return function(lefts, rights, batch)
     return token_measure_matrix(lefts, rights, measure, batch)
+
+
+def schema_based_matrix_legacy(
+    lefts: list[str],
+    rights: list[str],
+    measure: str,
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """Frozen pre-kernel-engine dispatch of the 16 measures.
+
+    Kept as the differential-testing and benchmarking reference: the
+    kernel path of :func:`schema_based_matrix` must reproduce it bit
+    for bit (``benchmarks/bench_kernel_engine.py`` enforces both the
+    equality and the speedup floor).
+    """
+    function = _LEGACY_MATRIX_FUNCTIONS.get(measure)
+    if function is not None:
+        return function(lefts, rights, batch)
+    return token_measure_matrix_legacy(lefts, rights, measure, batch)

@@ -29,6 +29,9 @@ Cache keys and invalidation
 ---------------------------
 Keys are flat tuples — ``("vector_model", unit, n, weighting)``,
 ``("entity_graphs", unit, n)``, ``("string_batch", attribute)``,
+``("string_plan", attribute)`` plus the unique-universe artifacts
+``("string_unique_encoded" | "string_unique_tokens" |
+"string_token_grid", attribute)`` of the pairwise-kernel engine,
 ``("semantic_model", name)``, ``("text_embeddings", model, attribute)``
 (``attribute is None`` marks the schema-agnostic text source) — so the
 cache-hit tests can assert every key is built exactly once.  The cache
@@ -50,6 +53,15 @@ artifact-sharing groups.  The workbench farms these groups out to a
 dataset deterministically from its spec, so only the config and the
 specs cross the process boundary; ``workers`` never changes results or
 cache keys — it only changes wall-clock.
+
+Below the process level sits the pairwise-kernel engine
+(:mod:`repro.pipeline.kernels`): the schema-based string measures run
+deduplicated, cache-blocked kernels that can execute their blocks on a
+thread pool.  ``SimilarityEngine(..., threads=N)`` scopes that pool —
+the workbench passes the same ``workers`` knob when it runs groups
+serially (process workers keep ``threads=1`` to avoid
+oversubscription).  Thread count never changes results either: blocks
+write disjoint output rows.
 """
 
 from __future__ import annotations
@@ -72,6 +84,7 @@ from repro.pipeline.batched_strings import (
     StringBatch,
     schema_based_matrix,
 )
+from repro.pipeline.kernels import kernel_threads
 from repro.pipeline.similarity_functions import (
     SimilarityFunctionSpec,
     graph_measure_matrix,
@@ -301,9 +314,11 @@ class SimilarityEngine:
         self,
         dataset: CleanCleanDataset,
         cache: ArtifactCache | None = None,
+        threads: int = 1,
     ) -> None:
         self.dataset = dataset
         self.cache = cache if cache is not None else ArtifactCache(dataset)
+        self.threads = max(int(threads), 1)
 
     def compute(self, spec: SimilarityFunctionSpec) -> np.ndarray:
         """The all-pairs similarity matrix of ``spec``."""
@@ -317,11 +332,14 @@ class SimilarityEngine:
 
         ``artifact_seconds`` is the time spent building cache-missed
         artifacts during this call (zero on a fully warm cache);
-        ``matrix_seconds`` is the remainder of the wall-clock.
+        ``matrix_seconds`` is the remainder of the wall-clock.  The
+        pairwise kernels run under this engine's ``threads`` knob,
+        which never affects the produced matrix.
         """
         before = self.cache.miss_seconds
         start = time.perf_counter()
-        matrix = self._dispatch(spec)
+        with kernel_threads(self.threads):
+            matrix = self._dispatch(spec)
         total = time.perf_counter() - start
         artifact_seconds = self.cache.miss_seconds - before
         return matrix, artifact_seconds, max(total - artifact_seconds, 0.0)
@@ -341,20 +359,27 @@ class SimilarityEngine:
         attribute = spec.details["attribute"]
         measure = spec.details["measure"]
         batch = self.cache.string_batch(attribute)
-        # Materialize the measure's shared artifacts under the cache
-        # clock so their cost is attributed to the artifact stage (the
-        # batch builds them lazily either way).
-        if measure in ALIGNMENT_MEASURES:
+        # Materialize the measure's shared unique-universe artifacts
+        # under the cache clock so their cost is attributed to the
+        # artifact stage (the batch builds them lazily either way).
+        self.cache.get(("string_plan", attribute), lambda: batch.plan)
+        if measure in ALIGNMENT_MEASURES or measure == "jaro":
             self.cache.get(
-                ("string_encoded", attribute), lambda: batch.encoded_rights
+                ("string_unique_encoded", attribute),
+                lambda: (
+                    batch.unique_left_encoding,
+                    batch.unique_right_encoding,
+                ),
             )
         elif measure in TOKEN_MATRIX_MEASURES:
             self.cache.get(
-                ("string_tokens", attribute), lambda: batch.token_sparse
+                ("string_unique_tokens", attribute),
+                lambda: batch.unique_token_sparse,
             )
         elif measure == "monge_elkan":
             self.cache.get(
-                ("string_token_lists", attribute), lambda: batch.token_lists
+                ("string_token_grid", attribute),
+                lambda: batch.monge_elkan_grid,
             )
         return schema_based_matrix(batch.lefts, batch.rights, measure, batch)
 

@@ -1,0 +1,827 @@
+"""Deduplicated, blocked, thread-parallel pairwise-kernel engine.
+
+The similarity families compute all-pairs ``lefts x rights`` matrices.
+Real clean-clean datasets repeat attribute values heavily, and the
+per-pair Python loops of the string kernels dominate corpus generation
+once models and embeddings are cached.  This module is the execution
+layer those kernels route through:
+
+* :class:`UniquePlan` factors the ``lefts x rights`` product down to
+  the grid of *unique* values (first-occurrence order, so derived
+  vocabularies match the non-deduplicated construction exactly) and
+  scatters results back with ``np.ix_`` — every duplicated value pair
+  is computed once.
+* :func:`row_blocks` / :func:`run_blocks` tile the unique grid into
+  cache-sized row blocks and execute them on a thread pool (the numpy
+  kernels release the GIL).  Each block writes a disjoint row range of
+  a preallocated output, so assembly is deterministic and the result
+  is **invariant under the thread count** — the pool size comes from
+  the same ``workers`` knob that drives process-level parallelism
+  (:func:`kernel_threads` / :func:`get_kernel_threads`).
+* The kernels themselves are *batched across left strings*: blocks are
+  length-sorted and each DP step advances every left string of the
+  block against every right string simultaneously (3-D arrays), so the
+  per-row Python overhead of the former one-left-at-a-time loops is
+  amortized over the whole block.
+
+Bit-identity is the design constraint, not a best effort: every kernel
+performs the same IEEE operations in the same order as the frozen
+``*_legacy`` body it replaces (differential tests in
+``tests/pipeline/test_kernels.py`` assert exact equality, and
+``benchmarks/bench_kernel_engine.py`` guards both the >= 3x speedup
+and the bitwise match).  The Smith-Waterman grid relies on all DP
+values being small multiples of 0.5 (dyadic rationals), which makes
+the offset-based scan propagation exact; the edit-distance DPs operate
+on exactly representable small integers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "UniquePlan",
+    "kernel_threads",
+    "get_kernel_threads",
+    "row_blocks",
+    "run_blocks",
+    "encode_strings",
+    "edit_distance_unique",
+    "needleman_wunsch_unique",
+    "lcs_subsequence_unique",
+    "lcs_substring_unique",
+    "jaro_unique",
+    "smith_waterman_grid",
+    "monge_elkan_unique",
+]
+
+
+# ----------------------------------------------------------------------
+# Thread knob
+# ----------------------------------------------------------------------
+#: Kernel thread count of the current process; 1 = serial.  Process
+#: workers keep the default (they already saturate the cores), the
+#: serial corpus path raises it via :func:`kernel_threads`.
+_KERNEL_THREADS = 1
+
+
+def get_kernel_threads() -> int:
+    """The thread count kernels use when none is passed explicitly."""
+    return _KERNEL_THREADS
+
+
+@contextmanager
+def kernel_threads(n: int):
+    """Context manager scoping the kernel thread pool size.
+
+    Results are invariant under ``n`` by construction (disjoint block
+    writes); only wall-clock changes.
+    """
+    global _KERNEL_THREADS
+    previous = _KERNEL_THREADS
+    _KERNEL_THREADS = max(int(n), 1)
+    try:
+        yield
+    finally:
+        _KERNEL_THREADS = previous
+
+
+# ----------------------------------------------------------------------
+# Unique-value execution plan
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UniquePlan:
+    """Factorization of ``lefts x rights`` into the unique-value grid.
+
+    ``lefts`` / ``rights`` hold the distinct values in **first
+    occurrence order** — the order in which a non-deduplicated pass
+    would first see them — so vocabulary-building kernels produce the
+    same vocabularies (and the same summation orders) as the legacy
+    full-list path.  ``left_inverse[i]`` maps original row ``i`` to its
+    unique row; ``left_index[u]`` maps unique row ``u`` back to the
+    first original row holding that value.
+    """
+
+    lefts: tuple[str, ...]
+    rights: tuple[str, ...]
+    left_inverse: np.ndarray = field(compare=False)
+    right_inverse: np.ndarray = field(compare=False)
+    left_index: np.ndarray = field(compare=False)
+    right_index: np.ndarray = field(compare=False)
+
+    @classmethod
+    def build(cls, lefts: list[str], rights: list[str]) -> "UniquePlan":
+        unique_left, inverse_left, index_left = _first_occurrence(lefts)
+        unique_right, inverse_right, index_right = _first_occurrence(rights)
+        return cls(
+            lefts=tuple(unique_left),
+            rights=tuple(unique_right),
+            left_inverse=inverse_left,
+            right_inverse=inverse_right,
+            left_index=index_left,
+            right_index=index_right,
+        )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the full (non-deduplicated) matrix."""
+        return len(self.left_inverse), len(self.right_inverse)
+
+    @property
+    def unique_shape(self) -> tuple[int, int]:
+        """Shape of the unique-value grid."""
+        return len(self.lefts), len(self.rights)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Unique cells per full cell — 1.0 means nothing repeats."""
+        full = self.shape[0] * self.shape[1]
+        if full == 0:
+            return 1.0
+        return (self.unique_shape[0] * self.unique_shape[1]) / full
+
+    def expand(self, unique_matrix: np.ndarray) -> np.ndarray:
+        """Scatter a unique-grid matrix back to the full pair grid."""
+        if 0 in self.shape:
+            return np.zeros(self.shape)
+        return unique_matrix[np.ix_(self.left_inverse, self.right_inverse)]
+
+
+def _first_occurrence(
+    values: list[str],
+) -> tuple[list[str], np.ndarray, np.ndarray]:
+    """Unique values in first-occurrence order plus inverse/index maps."""
+    positions: dict[str, int] = {}
+    first: list[int] = []
+    inverse = np.empty(len(values), dtype=np.intp)
+    for i, value in enumerate(values):
+        slot = positions.get(value)
+        if slot is None:
+            slot = len(positions)
+            positions[value] = slot
+            first.append(i)
+        inverse[i] = slot
+    return list(positions), inverse, np.asarray(first, dtype=np.intp)
+
+
+# ----------------------------------------------------------------------
+# Block scheduler
+# ----------------------------------------------------------------------
+#: Target cells (rows x padded right width) per DP block: ~0.5M float64
+#: cells keep the handful of live DP slabs inside the L2/L3 cache.
+_TARGET_BLOCK_CELLS = 1 << 19
+
+
+def row_blocks(
+    n_rows: int,
+    row_weight: int,
+    threads: int | None = None,
+    target_cells: int = _TARGET_BLOCK_CELLS,
+) -> list[tuple[int, int]]:
+    """Contiguous row ranges tiling ``n_rows``.
+
+    ``row_weight`` is the cost of one row (e.g. ``n_right * max_len``);
+    blocks are sized so ``rows * row_weight`` stays near
+    ``target_cells``.  With ``threads > 1`` blocks are additionally
+    capped so the pool gets at least a few blocks per thread for load
+    balancing.
+    """
+    if n_rows <= 0:
+        return []
+    threads = get_kernel_threads() if threads is None else max(threads, 1)
+    per_block = max(1, target_cells // max(row_weight, 1))
+    if threads > 1:
+        balanced = -(-n_rows // (threads * 4))
+        per_block = max(1, min(per_block, balanced))
+    return [
+        (start, min(start + per_block, n_rows))
+        for start in range(0, n_rows, per_block)
+    ]
+
+
+def run_blocks(
+    blocks: list[tuple[int, int]],
+    kernel,
+    threads: int | None = None,
+) -> None:
+    """Execute ``kernel(start, stop)`` for every block.
+
+    Serial when ``threads <= 1`` or there is a single block; otherwise
+    on a thread pool.  Kernels write disjoint output rows, so the
+    result never depends on scheduling.
+    """
+    threads = get_kernel_threads() if threads is None else max(threads, 1)
+    if threads <= 1 or len(blocks) <= 1:
+        for start, stop in blocks:
+            kernel(start, stop)
+        return
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        futures = [pool.submit(kernel, start, stop) for start, stop in blocks]
+        for future in futures:
+            future.result()
+
+
+# ----------------------------------------------------------------------
+# Shared encoding helpers
+# ----------------------------------------------------------------------
+def encode_strings(strings: tuple[str, ...] | list[str]):
+    """Pad strings into an int32 code-point matrix plus lengths.
+
+    Padding uses ``-1``, which never equals a real code point — padded
+    steps of the batched kernels are therefore self-masking.
+    """
+    lengths = np.array([len(s) for s in strings], dtype=np.int64)
+    max_len = int(lengths.max()) if len(strings) else 0
+    codes = np.full((len(strings), max_len), -1, dtype=np.int32)
+    for row, text in enumerate(strings):
+        if text:
+            codes[row, : len(text)] = np.frombuffer(
+                text.encode("utf-32-le"), dtype=np.uint32
+            ).astype(np.int32)
+    return codes, lengths
+
+
+def _scan_min_inplace(rows: np.ndarray, offsets: np.ndarray) -> None:
+    """``row[j] = min_k<=j (row[k] + step*(j-k))`` along the last axis.
+
+    ``offsets`` is ``step * arange(width)`` in the rows' dtype; the
+    scan runs fully in place.  On the exactly-representable integer
+    (and dyadic) DP values the offset trick is exact, so this matches
+    the scalar insert/gap propagation bit for bit.
+    """
+    np.subtract(rows, offsets, out=rows)
+    np.minimum.accumulate(rows, axis=-1, out=rows)
+    np.add(rows, offsets, out=rows)
+
+
+def _scan_max_inplace(rows: np.ndarray, offsets: np.ndarray) -> None:
+    """``row[j] = max_k<=j (row[k] + step*(j-k))`` along the last axis."""
+    np.subtract(rows, offsets, out=rows)
+    np.maximum.accumulate(rows, axis=-1, out=rows)
+    np.add(rows, offsets, out=rows)
+
+
+def _length_sorted_rows(lengths: np.ndarray) -> np.ndarray:
+    """Non-empty row indices, longest first.
+
+    Descending order gives each block a shrinking *prefix* of active
+    rows as its DP steps pass the shorter strings, and packs strings of
+    similar length together so padding waste stays small.
+    """
+    nonempty = np.flatnonzero(lengths > 0)
+    order = np.argsort(-lengths[nonempty], kind="stable")
+    return nonempty[order]
+
+
+def _finished_segment(lens: np.ndarray, step: int) -> tuple[int, int]:
+    """``[start, stop)`` of rows with exactly ``len == step``.
+
+    ``lens`` is descending, so the rows finishing at this step form a
+    contiguous segment ending at the active-prefix boundary.
+    """
+    start = int(np.searchsorted(-lens, -step, side="left"))
+    stop = int(np.searchsorted(-lens, -step, side="right"))
+    return start, stop
+
+
+# ----------------------------------------------------------------------
+# Alignment kernels (unique grid, blocked, batched across lefts)
+# ----------------------------------------------------------------------
+def edit_distance_unique(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    transpositions: bool,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Unique-grid normalized (Damerau-)Levenshtein similarity.
+
+    Each block runs one DP whose step ``i`` advances *every* left
+    string of the block against every right string; rows whose string
+    ends at step ``i`` extract their distances and drop out of the
+    active prefix.  All DP values are small integers, so the state
+    lives in preallocated int32 slabs (half the traffic of float64,
+    no per-step allocations) and converts to float only at extraction
+    — bit-identical to the float64 legacy DP.
+    """
+    n_left, n_right = left_codes.shape[0], right_codes.shape[0]
+    out = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return out
+    max_len = right_codes.shape[1]
+    base_row = np.arange(max_len + 1, dtype=np.int32)
+    offsets = np.arange(max_len + 1, dtype=np.int32)
+    take = np.broadcast_to(right_lengths[None, :, None], (1, n_right, 1))
+    rows = _length_sorted_rows(left_lengths)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[ids]
+        codes_a = left_codes[ids]
+        shape = (len(ids), n_right, max_len + 1)
+        previous = np.broadcast_to(base_row, shape).copy()
+        current = np.empty(shape, dtype=np.int32)
+        scratch = np.empty(shape, dtype=np.int32)
+        older = np.empty(shape, dtype=np.int32) if transpositions else None
+        cost = np.empty((len(ids), n_right, max_len), dtype=bool)
+        if transpositions and max_len >= 2:
+            swap_ok = np.empty((len(ids), n_right, max_len - 1), dtype=bool)
+            swap_prev = np.empty_like(swap_ok)
+        else:
+            swap_ok = swap_prev = None
+        prev_prev: np.ndarray | None = None
+        prev_ca: np.ndarray | None = None
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            tmp = scratch[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.not_equal(
+                right_codes[None, :, :],
+                ca[:, None, None],
+                out=cost[:n_active],
+            )
+            np.add(prev[..., :-1], cost[:n_active], out=cur[..., 1:])
+            np.add(prev[..., 1:], 1, out=tmp[..., 1:])
+            np.minimum(cur[..., 1:], tmp[..., 1:], out=cur[..., 1:])
+            cur[..., 0] = step
+            if transpositions and prev_prev is not None and max_len >= 2:
+                ok = swap_ok[:n_active]
+                np.equal(
+                    right_codes[None, :, :-1], ca[:, None, None], out=ok
+                )
+                np.equal(
+                    right_codes[None, :, 1:],
+                    prev_ca[:n_active, None, None],
+                    out=swap_prev[:n_active],
+                )
+                ok &= swap_prev[:n_active]
+                candidate = tmp[..., 2:]
+                np.add(prev_prev[:n_active, :, :-2], 1, out=candidate)
+                np.minimum(cur[..., 2:], candidate, out=candidate)
+                np.copyto(cur[..., 2:], candidate, where=ok)
+            _scan_min_inplace(cur, offsets)  # insert propagation
+            if transpositions:
+                previous, current, older = current, older, previous
+                prev_prev = older
+            else:
+                previous, current = current, previous
+            prev_ca = ca
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                distances = np.take_along_axis(
+                    previous[first:last], take, axis=2
+                )[..., 0]
+                longest = np.maximum(step, right_lengths)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0, 1.0 - distances / longest, 0.0
+                    )
+
+    weight = n_right * (max_len + 1)
+    run_blocks(row_blocks(len(rows), weight, threads), block, threads)
+    _mask_empty(out, left_lengths, right_lengths)
+    return np.clip(out, 0.0, 1.0)
+
+
+_NW_GAP = 2.0
+
+
+def needleman_wunsch_unique(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Unique-grid Needleman-Wunsch similarity (mismatch 1, gap 2)."""
+    n_left, n_right = left_codes.shape[0], right_codes.shape[0]
+    out = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return out
+    max_len = right_codes.shape[1]
+    gap = int(_NW_GAP)
+    base_row = gap * np.arange(max_len + 1, dtype=np.int32)
+    offsets = gap * np.arange(max_len + 1, dtype=np.int32)
+    take = np.broadcast_to(right_lengths[None, :, None], (1, n_right, 1))
+    rows = _length_sorted_rows(left_lengths)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[ids]
+        codes_a = left_codes[ids]
+        shape = (len(ids), n_right, max_len + 1)
+        previous = np.broadcast_to(base_row, shape).copy()
+        current = np.empty(shape, dtype=np.int32)
+        scratch = np.empty(shape, dtype=np.int32)
+        cost = np.empty((len(ids), n_right, max_len), dtype=bool)
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            tmp = scratch[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.not_equal(
+                right_codes[None, :, :],
+                ca[:, None, None],
+                out=cost[:n_active],
+            )
+            np.add(prev[..., :-1], cost[:n_active], out=cur[..., 1:])
+            np.add(prev[..., 1:], gap, out=tmp[..., 1:])
+            np.minimum(cur[..., 1:], tmp[..., 1:], out=cur[..., 1:])
+            cur[..., 0] = step * gap
+            _scan_min_inplace(cur, offsets)
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                costs = np.take_along_axis(
+                    previous[first:last], take, axis=2
+                )[..., 0]
+                longest = np.maximum(step, right_lengths)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0,
+                        1.0 - costs / (_NW_GAP * longest),
+                        0.0,
+                    )
+
+    weight = n_right * (max_len + 1)
+    run_blocks(row_blocks(len(rows), weight, threads), block, threads)
+    _mask_empty(out, left_lengths, right_lengths)
+    return np.clip(out, 0.0, 1.0)
+
+
+def lcs_subsequence_unique(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Unique-grid longest-common-subsequence similarity."""
+    n_left, n_right = left_codes.shape[0], right_codes.shape[0]
+    out = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return out
+    max_len = right_codes.shape[1]
+    take = np.broadcast_to(right_lengths[None, :, None], (1, n_right, 1))
+    rows = _length_sorted_rows(left_lengths)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[ids]
+        codes_a = left_codes[ids]
+        shape = (len(ids), n_right, max_len + 1)
+        previous = np.zeros(shape, dtype=np.int32)
+        current = np.empty(shape, dtype=np.int32)
+        eq = np.empty((len(ids), n_right, max_len), dtype=bool)
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.equal(
+                right_codes[None, :, :], ca[:, None, None], out=eq[:n_active]
+            )
+            np.add(prev[..., :-1], eq[:n_active], out=cur[..., 1:])
+            np.maximum(prev[..., 1:], cur[..., 1:], out=cur[..., 1:])
+            cur[..., 0] = 0
+            np.maximum.accumulate(cur, axis=-1, out=cur)
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                lcs = np.take_along_axis(
+                    previous[first:last], take, axis=2
+                )[..., 0]
+                longest = np.maximum(step, right_lengths)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0, lcs / longest, 0.0
+                    )
+
+    weight = n_right * (max_len + 1)
+    run_blocks(row_blocks(len(rows), weight, threads), block, threads)
+    _mask_empty(out, left_lengths, right_lengths)
+    return np.clip(out, 0.0, 1.0)
+
+
+def lcs_substring_unique(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Unique-grid longest-common-substring similarity."""
+    n_left, n_right = left_codes.shape[0], right_codes.shape[0]
+    out = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return out
+    max_len = right_codes.shape[1]
+    rows = _length_sorted_rows(left_lengths)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[ids]
+        codes_a = left_codes[ids]
+        shape = (len(ids), n_right, max_len + 1)
+        best = np.zeros((len(ids), n_right), dtype=np.int32)
+        previous = np.zeros(shape, dtype=np.int32)
+        current = np.empty(shape, dtype=np.int32)
+        eq = np.empty((len(ids), n_right, max_len), dtype=bool)
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.equal(
+                right_codes[None, :, :], ca[:, None, None], out=eq[:n_active]
+            )
+            np.add(prev[..., :-1], 1, out=cur[..., 1:])
+            np.multiply(cur[..., 1:], eq[:n_active], out=cur[..., 1:])
+            cur[..., 0] = 0
+            np.maximum(
+                best[:n_active],
+                cur.max(axis=-1),
+                out=best[:n_active],
+            )
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                longest = np.maximum(step, right_lengths)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0, best[first:last] / longest, 0.0
+                    )
+
+    weight = n_right * (max_len + 1)
+    run_blocks(row_blocks(len(rows), weight, threads), block, threads)
+    _mask_empty(out, left_lengths, right_lengths)
+    return np.clip(out, 0.0, 1.0)
+
+
+def _mask_empty(
+    out: np.ndarray, left_lengths: np.ndarray, right_lengths: np.ndarray
+) -> None:
+    """Zero rows/columns of empty strings (the builder convention)."""
+    out[left_lengths == 0, :] = 0.0
+    out[:, right_lengths == 0] = 0.0
+
+
+# ----------------------------------------------------------------------
+# Jaro (length-sorted blocks, per-pair windows)
+# ----------------------------------------------------------------------
+def jaro_unique(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Unique-grid Jaro similarity as a batched array kernel.
+
+    The greedy common-character matching is inherently sequential in
+    the *left* string's characters, but each of those steps is a pure
+    array operation over every ``(left, right)`` pair of the block:
+    first-unflagged-match selection via ``argmax`` over the per-pair
+    match window, then one vectorized transposition count from the
+    cumulative match ranks.
+    """
+    n_left, n_right = left_codes.shape[0], right_codes.shape[0]
+    out = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return out
+    max_right = right_codes.shape[1]
+    cols = np.arange(max_right)
+    rows = _length_sorted_rows(left_lengths)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[ids]
+        codes_a = left_codes[ids]
+        n_block = len(ids)
+        la = lens[:, None]
+        lb = right_lengths[None, :]
+        window = np.maximum(np.maximum(la, lb) // 2 - 1, 0)
+        # Per-pair window bounds at step 0; both shift by one per step.
+        low = 0 - window
+        high = window.copy()
+        # Unflagged-position tracking keeps candidate filtering to one
+        # in-place ``&=`` per step; right-side padding positions stay
+        # True forever but never match (the active-prefix slicing keeps
+        # the -1 pad out of the left side, and a real code never equals
+        # the pad).
+        unflagged = np.ones((n_block, n_right, max_right), dtype=bool)
+        matched = np.zeros((n_block, n_right, int(lens[0])), dtype=bool)
+        cand = np.empty((n_block, n_right, max_right), dtype=bool)
+        winbuf = np.empty_like(cand)
+        cols3 = cols[None, None, :]
+        for i in range(int(lens[0])):
+            n_active = int(np.searchsorted(-lens, -(i + 1), side="right"))
+            ca = codes_a[:n_active, i]
+            step_cand = cand[:n_active]
+            step_win = winbuf[:n_active]
+            np.equal(
+                right_codes[None, :, :], ca[:, None, None], out=step_cand
+            )
+            step_cand &= unflagged[:n_active]
+            np.greater_equal(cols3, low[:n_active, :, None], out=step_win)
+            step_cand &= step_win
+            np.less_equal(cols3, high[:n_active, :, None], out=step_win)
+            step_cand &= step_win
+            has = step_cand.any(axis=-1)
+            if has.any():
+                first_j = np.argmax(step_cand, axis=-1)
+                ai, bi = np.nonzero(has)
+                unflagged[ai, bi, first_j[ai, bi]] = False
+                matched[ai, bi, i] = True
+            low += 1
+            high += 1
+        b_flag = ~unflagged
+        common = b_flag.sum(axis=-1)
+        transpositions = _jaro_transpositions(
+            codes_a, right_codes, matched, b_flag, common
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sims = np.where(
+                common > 0,
+                (
+                    common / la
+                    + common / lb
+                    + (common - transpositions) / np.maximum(common, 1)
+                )
+                / 3.0,
+                0.0,
+            )
+        out[ids] = sims
+
+    weight = n_right * max(max_right, 1)
+    run_blocks(row_blocks(len(rows), weight, threads), block, threads)
+    _mask_empty(out, left_lengths, right_lengths)
+    return out
+
+
+def _jaro_transpositions(
+    codes_a: np.ndarray,
+    codes_b: np.ndarray,
+    matched: np.ndarray,
+    b_flag: np.ndarray,
+    common: np.ndarray,
+) -> np.ndarray:
+    """Half the positions where the matched sequences disagree.
+
+    The k-th matched left character (in left order) is lined up against
+    the k-th flagged right character (in right order) by scattering
+    both along their cumulative match ranks.
+    """
+    n_block, n_right = common.shape
+    max_common = int(common.max()) if common.size else 0
+    if max_common == 0:
+        return np.zeros((n_block, n_right), dtype=np.int64)
+    rank_a = np.cumsum(matched, axis=-1) - 1
+    rank_b = np.cumsum(b_flag, axis=-1) - 1
+    seq_a = np.full((n_block, n_right, max_common), -1, dtype=np.int32)
+    seq_b = np.full((n_block, n_right, max_common), -2, dtype=np.int32)
+    ai, bi, ci = np.nonzero(matched)
+    seq_a[ai, bi, rank_a[ai, bi, ci]] = codes_a[ai, ci]
+    ai, bi, cj = np.nonzero(b_flag)
+    seq_b[ai, bi, rank_b[ai, bi, cj]] = codes_b[bi, cj]
+    return ((seq_a != seq_b) & (seq_a != -1)).sum(axis=-1) // 2
+
+
+# ----------------------------------------------------------------------
+# Smith-Waterman token grid + Monge-Elkan assembly
+# ----------------------------------------------------------------------
+_SW_MATCH = 1.0
+_SW_MISMATCH = -2.0
+_SW_GAP = -0.5
+
+def smith_waterman_grid(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """All-pairs Smith-Waterman similarity of two token vocabularies.
+
+    Every DP value is a small multiple of 0.5, so the whole DP runs on
+    doubled int32 scores (match +2, mismatch -4, gap -1); halving at
+    extraction is exact (dyadic), and the offset-based max scan used
+    for the in-row gap propagation is exact on integers — the grid is
+    bit-identical to the scalar
+    :func:`repro.textsim.smith_waterman.smith_waterman_similarity`.
+    """
+    n_left, n_right = left_codes.shape[0], right_codes.shape[0]
+    out = np.zeros((n_left, n_right))
+    if n_left == 0 or n_right == 0:
+        return out
+    max_len = right_codes.shape[1]
+    match2, mismatch2, gap2 = (
+        int(2 * _SW_MATCH),
+        int(2 * _SW_MISMATCH),
+        int(2 * _SW_GAP),
+    )
+    offsets = gap2 * np.arange(max_len + 1, dtype=np.int32)
+    rows = _length_sorted_rows(left_lengths)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[ids]
+        codes_a = left_codes[ids]
+        shape = (len(ids), n_right, max_len + 1)
+        best = np.zeros((len(ids), n_right), dtype=np.int32)
+        previous = np.zeros(shape, dtype=np.int32)
+        current = np.empty(shape, dtype=np.int32)
+        scratch = np.empty(shape, dtype=np.int32)
+        substitution = np.empty(
+            (len(ids), n_right, max_len), dtype=np.int32
+        )
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            tmp = scratch[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            sub = substitution[:n_active]
+            np.copyto(sub, mismatch2)
+            np.copyto(
+                sub,
+                match2,
+                where=right_codes[None, :, :] == ca[:, None, None],
+            )
+            np.add(prev[..., :-1], sub, out=cur[..., 1:])
+            np.add(prev[..., 1:], gap2, out=tmp[..., 1:])
+            np.maximum(cur[..., 1:], tmp[..., 1:], out=cur[..., 1:])
+            np.maximum(cur[..., 1:], 0, out=cur[..., 1:])
+            cur[..., 0] = 0
+            _scan_max_inplace(cur, offsets)
+            np.maximum(
+                best[:n_active],
+                cur[..., 1:].max(axis=-1),
+                out=best[:n_active],
+            )
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                shortest = np.minimum(step, right_lengths)
+                score = best[first:last] / 2.0
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        shortest > 0,
+                        score / (shortest * _SW_MATCH),
+                        0.0,
+                    )
+
+    weight = n_right * (max_len + 1)
+    run_blocks(row_blocks(len(rows), weight, threads), block, threads)
+    return out
+
+
+def monge_elkan_unique(
+    left_token_ids: list[np.ndarray],
+    right_token_ids: list[np.ndarray],
+    grid: np.ndarray,
+) -> np.ndarray:
+    """Monge-Elkan over a precomputed unique-token-pair SW ``grid``.
+
+    ``*_token_ids`` hold, per unique value, the token indices into the
+    grid axes — duplicates included, in text order, exactly as the
+    scalar measure iterates them.  The max over a right value's tokens
+    is one ``np.maximum.reduceat`` per grid row (selection — exact);
+    the mean over a left value's tokens is a strict left fold over
+    token-count buckets, reproducing the scalar summation order
+    bit-for-bit.
+    """
+    n_left, n_right = len(left_token_ids), len(right_token_ids)
+    out = np.zeros((n_left, n_right))
+    left_ids = [i for i, ids in enumerate(left_token_ids) if len(ids)]
+    right_ids = [j for j, ids in enumerate(right_token_ids) if len(ids)]
+    if not left_ids or not right_ids:
+        return out
+    right_lists = [right_token_ids[j] for j in right_ids]
+    offsets = np.cumsum([0] + [len(ids) for ids in right_lists[:-1]])
+    concatenated = np.concatenate(right_lists)
+    # (unique left token) x (right value): best SW score of the token
+    # against any token of the value.
+    best = np.maximum.reduceat(grid[:, concatenated], offsets, axis=1)
+
+    dense = np.zeros((len(left_ids), len(right_ids)))
+    counts = np.array([len(left_token_ids[i]) for i in left_ids])
+    for count in np.unique(counts):
+        bucket = np.flatnonzero(counts == count)
+        stacked = np.stack(
+            [best[left_token_ids[left_ids[b]]] for b in bucket]
+        )  # (bucket, count, n_right_values)
+        total = stacked[:, 0].copy()
+        for position in range(1, int(count)):
+            total += stacked[:, position]
+        dense[bucket] = total / int(count)
+    out[np.ix_(left_ids, right_ids)] = dense
+    return out

@@ -40,6 +40,7 @@ from repro.ngramgraph import (
     value_matrix,
 )
 from repro.pipeline.batched_strings import schema_based_matrix
+from repro.pipeline.kernels import UniquePlan
 from repro.textsim.registry import SCHEMA_BASED_MEASURES
 from repro.vectorspace import (
     arcs_matrix,
@@ -373,17 +374,33 @@ def semantic_matrix_from_embeddings(
     strings, needed for the empty-evidence convention.  ``wmd_stats``
     optionally carries the two per-text statistics lists of
     :func:`repro.embeddings.wmd.token_stats` for the ``wmd`` measure.
+
+    The ``wmd`` measure routes through a
+    :class:`~repro.pipeline.kernels.UniquePlan` over the source
+    strings: duplicated texts have identical (deterministic) token
+    embeddings, so each unique text pair is evaluated once and the
+    result is scattered back — bit-identical to the full pair loop.
     """
     if measure == "wmd":
         stats_left, stats_right = (
             wmd_stats if wmd_stats is not None else (None, None)
         )
-        result = word_mover_similarity_matrix(
-            embeddings_left,
-            embeddings_right,
-            stats_left=stats_left,
-            stats_right=stats_right,
+        plan = UniquePlan.build(lefts, rights)
+        unique = word_mover_similarity_matrix(
+            [embeddings_left[i] for i in plan.left_index],
+            [embeddings_right[j] for j in plan.right_index],
+            stats_left=(
+                None
+                if stats_left is None
+                else [stats_left[i] for i in plan.left_index]
+            ),
+            stats_right=(
+                None
+                if stats_right is None
+                else [stats_right[j] for j in plan.right_index]
+            ),
         )
+        result = plan.expand(unique)
     elif measure == "cosine":
         result = cosine_similarity_matrix(embeddings_left, embeddings_right)
     elif measure == "euclidean":

@@ -104,7 +104,14 @@ def damerau_levenshtein_similarity(a: str, b: str) -> float:
 
 
 def jaro_similarity(a: str, b: str) -> float:
-    """The Jaro similarity (common characters and transpositions)."""
+    """The Jaro similarity (common characters and transpositions).
+
+    Scalar reference for the batched array kernel
+    :func:`repro.pipeline.kernels.jaro_unique`; the greedy matching
+    order (first unflagged equal character in the window) and the
+    ``(c/|a| + c/|b| + (c-t)/c) / 3`` evaluation order are part of the
+    bit-identity contract its differential tests enforce.
+    """
     if a == b:
         return 1.0
     if not a or not b:

@@ -5,6 +5,13 @@ Used as the secondary character-level measure inside Monge-Elkan
 approach of the Simmetrics implementation: match +1, mismatch -2,
 gap -0.5, normalized by the length of the shorter string (the maximum
 attainable local score).
+
+This is the scalar reference for the all-pairs token grid of
+:func:`repro.pipeline.kernels.smith_waterman_grid`, which runs the
+same DP on doubled int32 scores (every value here is a multiple of
+0.5, so halving back is exact) — the two must stay bit-identical, and
+the differential tests in ``tests/pipeline/test_kernels.py`` enforce
+it.  Keep the score constants in sync with ``_SW_*`` there.
 """
 
 from __future__ import annotations

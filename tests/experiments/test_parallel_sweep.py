@@ -90,6 +90,25 @@ class TestRunMatchingSweeps:
         assert len(results) == 1
         assert tuple(results[0].sweeps) == PAPER_ALGORITHM_CODES
 
+    def test_one_task_per_graph(self, monkeypatch):
+        """The chunked driver pickles each graph once, not per cell."""
+        from concurrent import futures as futures_module
+        from repro.experiments import runner
+
+        submitted = []
+        original = futures_module.ProcessPoolExecutor.submit
+
+        def counting_submit(self, fn, *args, **kwargs):
+            submitted.append(fn.__name__)
+            return original(self, fn, *args, **kwargs)
+
+        monkeypatch.setattr(
+            futures_module.ProcessPoolExecutor, "submit", counting_submit
+        )
+        records = synthetic_records(3)
+        run_matching_sweeps(records, CONFIG, workers=2)
+        assert submitted == ["_sweep_graph"] * len(records)
+
 
 class TestCliSweepWorkers:
     @pytest.fixture

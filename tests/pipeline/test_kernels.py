@@ -1,0 +1,256 @@
+"""Differential tests of the pairwise-kernel engine.
+
+The kernel path (:func:`schema_based_matrix`, batched RWMD) must be
+**bit-identical** — ``np.array_equal``, not approximately equal — to
+the frozen ``*_legacy`` bodies over adversarial inputs, and invariant
+under the block scheduler's thread count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings import FastTextLikeModel
+from repro.embeddings.measures import (
+    word_mover_similarity_matrix,
+    word_mover_similarity_matrix_legacy,
+)
+from repro.embeddings.wmd import token_stats
+from repro.pipeline.batched_strings import (
+    StringBatch,
+    schema_based_matrix,
+    schema_based_matrix_legacy,
+)
+from repro.pipeline.kernels import (
+    UniquePlan,
+    get_kernel_threads,
+    kernel_threads,
+    row_blocks,
+    run_blocks,
+)
+from repro.textsim.registry import SCHEMA_BASED_MEASURES
+
+# Adversarial value lists: empty strings, unicode (combining marks,
+# CJK, astral-plane emoji), single characters, heavily duplicated
+# values, and all-identical columns.
+ADVERSARIAL_CASES = [
+    (["abc", "abd", "", "abc", "x"], ["abd", "abc", "zzz", "", "abd"]),
+    (
+        ["héllo wörld", "naïve café", "日本語 テスト", "a", "🙂 emoji test"],
+        ["naive cafe", "héllo wörld", "日本語", "🙂 emoji test", "b"],
+    ),
+    (
+        ["dup val"] * 6 + ["other thing"],
+        ["dup val"] * 5 + ["another", "dup val"],
+    ),
+    (["same col"] * 4, ["same col"] * 3),
+    (["a"], ["b", "ab", "ba", "a", ""]),
+    ([""], [""]),
+    (
+        ["golden dragon restaurant", "gold dragon", "dragon inn cafe"],
+        ["golden dragon restaurant llc", "dragon inn", "golden dragoon"],
+    ),
+]
+
+strings = st.lists(
+    st.text(alphabet="abcde _", min_size=0, max_size=12),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestUniquePlan:
+    def test_first_occurrence_order(self):
+        plan = UniquePlan.build(["b", "a", "b", "c", "a"], ["x", "x", "y"])
+        assert plan.lefts == ("b", "a", "c")
+        assert plan.rights == ("x", "y")
+        assert list(plan.left_inverse) == [0, 1, 0, 2, 1]
+        assert list(plan.left_index) == [0, 1, 3]
+        assert list(plan.right_index) == [0, 2]
+
+    def test_expand_roundtrip(self):
+        lefts = ["a", "b", "a", "c"]
+        rights = ["x", "y", "x"]
+        plan = UniquePlan.build(lefts, rights)
+        unique = np.arange(plan.unique_shape[0] * plan.unique_shape[1])
+        unique = unique.reshape(plan.unique_shape).astype(float)
+        full = plan.expand(unique)
+        for i, left in enumerate(lefts):
+            for j, right in enumerate(rights):
+                u = plan.lefts.index(left)
+                v = plan.rights.index(right)
+                assert full[i, j] == unique[u, v]
+
+    def test_dedup_ratio(self):
+        plan = UniquePlan.build(["a"] * 10, ["b"] * 5)
+        assert plan.unique_shape == (1, 1)
+        assert plan.dedup_ratio == pytest.approx(1 / 50)
+
+    def test_empty_sides(self):
+        plan = UniquePlan.build([], ["x"])
+        assert plan.shape == (0, 1)
+        assert plan.expand(np.zeros(plan.unique_shape)).shape == (0, 1)
+
+
+class TestBlockScheduler:
+    def test_blocks_cover_rows_exactly_once(self):
+        for n_rows, weight in ((1, 1), (7, 100), (1000, 5000), (3, 10**9)):
+            blocks = row_blocks(n_rows, weight, threads=3)
+            covered = [r for start, stop in blocks for r in range(start, stop)]
+            assert covered == list(range(n_rows))
+
+    def test_no_rows_no_blocks(self):
+        assert row_blocks(0, 10) == []
+
+    def test_run_blocks_deterministic_assembly(self):
+        out = np.zeros(100)
+
+        def kernel(start, stop):
+            out[start:stop] = np.arange(start, stop)
+
+        run_blocks(row_blocks(100, 10**6, threads=4), kernel, threads=4)
+        assert np.array_equal(out, np.arange(100.0))
+
+    def test_run_blocks_propagates_errors(self):
+        def kernel(start, stop):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_blocks([(0, 1), (1, 2)], kernel, threads=2)
+
+    def test_kernel_threads_scope(self):
+        assert get_kernel_threads() == 1
+        with kernel_threads(4):
+            assert get_kernel_threads() == 4
+            with kernel_threads(2):
+                assert get_kernel_threads() == 2
+            assert get_kernel_threads() == 4
+        assert get_kernel_threads() == 1
+
+
+class TestSchemaBasedDifferential:
+    @pytest.mark.parametrize("measure", SCHEMA_BASED_MEASURES)
+    @pytest.mark.parametrize(
+        "case", range(len(ADVERSARIAL_CASES)), ids=lambda i: f"case{i}"
+    )
+    def test_bit_identical_to_legacy(self, measure, case):
+        lefts, rights = ADVERSARIAL_CASES[case]
+        new = schema_based_matrix(
+            lefts, rights, measure, StringBatch(lefts, rights)
+        )
+        legacy = schema_based_matrix_legacy(
+            lefts, rights, measure, StringBatch(lefts, rights)
+        )
+        assert np.array_equal(new, legacy), measure
+
+    @pytest.mark.parametrize("measure", SCHEMA_BASED_MEASURES)
+    @given(lefts=strings, rights=strings)
+    @settings(max_examples=15, deadline=None)
+    def test_bit_identical_on_random_inputs(self, measure, lefts, rights):
+        new = schema_based_matrix(lefts, rights, measure)
+        legacy = schema_based_matrix_legacy(lefts, rights, measure)
+        assert np.array_equal(new, legacy)
+
+    @pytest.mark.parametrize("measure", SCHEMA_BASED_MEASURES)
+    def test_workers_invariance(self, measure):
+        lefts, rights = ADVERSARIAL_CASES[1]
+        serial = schema_based_matrix(lefts, rights, measure)
+        with kernel_threads(3):
+            threaded = schema_based_matrix(lefts, rights, measure)
+        assert np.array_equal(serial, threaded), measure
+
+    def test_shared_batch_matches_fresh(self):
+        lefts, rights = ADVERSARIAL_CASES[6]
+        batch = StringBatch(lefts, rights)
+        for measure in SCHEMA_BASED_MEASURES:
+            fresh = schema_based_matrix(lefts, rights, measure)
+            shared = schema_based_matrix(lefts, rights, measure, batch)
+            assert np.array_equal(fresh, shared), measure
+
+
+class TestRwmdDifferential:
+    @pytest.fixture(scope="class")
+    def embeddings(self):
+        model = FastTextLikeModel(dim=24)
+        texts_left = [
+            "red fox", "", "blue whale swimming", "red fox", "###",
+            "one", "several common tokens in a longer text here",
+        ] * 2
+        texts_right = [
+            "red fox", "blue whale", "", "###",
+            "quick brown fox", "one token",
+        ] * 2
+        left = [model.embed_tokens(t) for t in texts_left]
+        right = [model.embed_tokens(t) for t in texts_right]
+        return texts_left, texts_right, left, right
+
+    def test_bit_identical_without_stats(self, embeddings):
+        _, _, left, right = embeddings
+        new = word_mover_similarity_matrix(left, right)
+        legacy = word_mover_similarity_matrix_legacy(left, right)
+        assert np.array_equal(new, legacy)
+
+    def test_bit_identical_with_stats(self, embeddings):
+        _, _, left, right = embeddings
+        stats_left = [token_stats(m) for m in left]
+        stats_right = [token_stats(m) for m in right]
+        new = word_mover_similarity_matrix(
+            left, right, stats_left=stats_left, stats_right=stats_right
+        )
+        legacy = word_mover_similarity_matrix_legacy(
+            left, right, stats_left=stats_left, stats_right=stats_right
+        )
+        assert np.array_equal(new, legacy)
+
+    def test_tokenless_conventions(self):
+        empty = np.empty((0, 8))
+        some = np.ones((2, 8))
+        matrix = word_mover_similarity_matrix([empty, some], [empty, some])
+        assert matrix[0, 0] == 1.0  # both token-less: zero cost
+        assert matrix[0, 1] == 0.0  # exactly one side token-less
+        assert matrix[1, 0] == 0.0
+        assert matrix[1, 1] == 1.0  # identical texts
+
+    def test_deduplicated_semantic_path(self, embeddings):
+        from repro.pipeline.similarity_functions import (
+            semantic_matrix_from_embeddings,
+        )
+
+        texts_left, texts_right, left, right = embeddings
+        result = semantic_matrix_from_embeddings(
+            texts_left, texts_right, "wmd", left, right
+        )
+        reference = word_mover_similarity_matrix_legacy(left, right)
+        left_empty = np.array([not t for t in texts_left], dtype=bool)
+        right_empty = np.array([not t for t in texts_right], dtype=bool)
+        reference[left_empty, :] = 0.0
+        reference[:, right_empty] = 0.0
+        assert np.array_equal(result, reference)
+
+
+class TestEngineThreadInvariance:
+    def test_engine_threads_do_not_change_matrices(self):
+        from repro.datasets.catalog import dataset_spec
+        from repro.datasets.generator import generate_dataset
+        from repro.pipeline import SimilarityEngine, enumerate_functions
+
+        dataset = generate_dataset(
+            dataset_spec("d1", scale=0.04, max_pairs=2_000), seed=11
+        )
+        specs = [
+            spec
+            for spec in enumerate_functions(
+                dataset,
+                families=("schema_based_syntactic",),
+                max_attributes=1,
+            )
+        ]
+        serial = SimilarityEngine(dataset, threads=1)
+        threaded = SimilarityEngine(dataset, threads=3)
+        for spec in specs:
+            assert np.array_equal(
+                serial.compute(spec), threaded.compute(spec)
+            ), spec.name
