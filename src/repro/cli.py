@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the library's main entry points:
+Six subcommands cover the library's main entry points:
 
 ``repro match``
     Run one algorithm on an edge-list CSV (``left,right,weight``) and
@@ -21,9 +21,18 @@ Four subcommands cover the library's main entry points:
     Generate (or warm the cache of) the similarity-graph corpus via
     the shared-artifact engine, optionally over several worker
     processes, and print the per-stage cost breakdown.
+``repro store``
+    Inspect (``ls``), shrink (``gc``) or empty (``purge``) the
+    persistent cross-run artifact store that ``--artifact-store``
+    points corpus generation at (:mod:`repro.pipeline.store`).
 
-Install exposes the ``repro`` console script; the module also runs as
-``python -m repro.cli``.
+``--workers`` and ``--artifact-store`` only change wall-clock, never
+results.  Install exposes the ``repro`` console script; the module
+also runs as ``python -m repro.cli``.
+
+The reference documentation in ``docs/CLI.md`` is drift-checked
+against :func:`build_parser` by ``tests/test_docs.py`` — keep the two
+in sync.
 """
 
 from __future__ import annotations
@@ -42,6 +51,16 @@ from repro.matching.registry import (
 )
 
 __all__ = ["main", "build_parser"]
+
+
+def _size_budget(text: str) -> int:
+    """Argparse type for ``--budget``: validate at parse time."""
+    from repro.pipeline.store import parse_size_budget
+
+    try:
+        return parse_size_budget(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", "-j", type=int, default=None,
         help="worker processes for per-algorithm sweeps (default: serial)",
     )
+    sweep.add_argument(
+        "--artifact-store", type=Path, default=None,
+        help=(
+            "accepted for flag parity with corpus/experiments; sweep "
+            "reads a prebuilt graph, so no artifacts are stored"
+        ),
+    )
 
     experiments = commands.add_parser(
         "experiments", help="run the cached full protocol"
@@ -98,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for corpus generation and the matching "
             "sweep cells (default: serial)"
+        ),
+    )
+    experiments.add_argument(
+        "--artifact-store", type=Path, default=None,
+        help=(
+            "persistent cross-run artifact store for corpus "
+            "generation (default: disabled)"
         ),
     )
 
@@ -116,6 +149,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print every generated graph with its stage timings",
     )
+    corpus.add_argument(
+        "--artifact-store", type=Path, default=None,
+        help=(
+            "persistent cross-run artifact store: embeddings, token "
+            "matrices and entity graphs are reused by every config "
+            "sharing a dataset (default: disabled)"
+        ),
+    )
+
+    store = commands.add_parser(
+        "store", help="inspect or clean the persistent artifact store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_commands.add_parser(
+        "ls", help="list store entries, most recently used first"
+    )
+    store_gc = store_commands.add_parser(
+        "gc", help="evict stale entries, then LRU entries over the budget"
+    )
+    store_gc.add_argument(
+        "--budget", type=_size_budget, default=None,
+        help="size budget, e.g. 500K / 64M / 2G (default: stale-only gc)",
+    )
+    store_purge = store_commands.add_parser(
+        "purge", help="delete every store entry"
+    )
+    for sub in (store_ls, store_gc, store_purge):
+        sub.add_argument(
+            "--artifact-store", type=Path, default=None,
+            help=(
+                "store directory (default: <cache>/artifacts under "
+                "REPRO_CACHE or .repro_cache)"
+            ),
+        )
     return parser
 
 
@@ -203,6 +270,13 @@ def _sweep_one_code(
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    if args.artifact_store is not None:
+        # Accepted for flag parity with corpus/experiments; say so
+        # instead of silently ignoring it.
+        print(
+            "note: --artifact-store has no effect on sweep (the input "
+            "graph is prebuilt; no artifacts are computed)"
+        )
     graph = _read_graph(args.graph)
     truth = _read_truth(args.truth)
     if args.algorithm == "all":
@@ -259,7 +333,10 @@ def _command_experiments(args: argparse.Namespace) -> int:
         DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
     )
     results = run_experiments(
-        config, cache_dir=args.cache, workers=args.workers
+        config,
+        cache_dir=args.cache,
+        workers=args.workers,
+        artifact_store=args.artifact_store,
     )
     rows = [
         [
@@ -305,6 +382,7 @@ def _command_corpus(args: argparse.Namespace) -> int:
         cache_dir=cache / "corpus",
         progress=args.progress,
         workers=args.workers,
+        artifact_store=args.artifact_store,
     )
     artifact = sum(r.artifact_seconds for r in records)
     matrix = sum(r.matrix_seconds for r in records)
@@ -318,6 +396,82 @@ def _command_corpus(args: argparse.Namespace) -> int:
         f"build cost {total:.1f}s = {artifact:.1f}s artifacts + "
         f"{matrix:.1f}s matrices + {graph:.1f}s graphs"
     )
+    if args.artifact_store is not None:
+        from repro.pipeline.store import ArtifactStore
+
+        store = ArtifactStore(args.artifact_store)
+        entries = store.entries()
+        print(
+            f"artifact store: {len(entries)} entries, "
+            f"{_format_bytes(sum(e.nbytes for e in entries))} "
+            f"-> {store.root}"
+        )
+    return 0
+
+
+def _format_bytes(nbytes: int) -> str:
+    for unit in ("B", "K", "M", "G"):
+        if nbytes < 1024 or unit == "G":
+            return (
+                f"{nbytes}{unit}" if unit == "B"
+                else f"{nbytes:.1f}{unit}"
+            )
+        nbytes /= 1024
+    return f"{nbytes}B"  # pragma: no cover
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    from repro.experiments.config import default_cache_dir
+    from repro.pipeline.store import ArtifactStore
+
+    root = (
+        args.artifact_store
+        if args.artifact_store is not None
+        else default_cache_dir() / "artifacts"
+    )
+    store = ArtifactStore(root)
+    if not store.root.is_dir():
+        # Most often a default-path mismatch (generation ran with an
+        # explicit --artifact-store elsewhere); say so instead of
+        # silently reporting an empty store.
+        print(
+            f"note: {store.root} does not exist — no store there yet "
+            "(pass --artifact-store to select another directory)"
+        )
+    if args.store_command == "ls":
+        entries = store.entries()
+        rows = [
+            [
+                entry.key[:12],
+                entry.dataset,
+                entry.kind,
+                ",".join(str(p) for p in entry.params),
+                _format_bytes(entry.nbytes),
+                "stale" if entry.stale else "ok",
+            ]
+            for entry in entries
+        ]
+        print(
+            render_table(
+                ["key", "dataset", "kind", "params", "size", "state"],
+                rows,
+                title=(
+                    f"Artifact store {store.root} — {len(entries)} "
+                    f"entries, "
+                    f"{_format_bytes(sum(e.nbytes for e in entries))}"
+                ),
+            )
+        )
+    elif args.store_command == "gc":
+        evicted = store.gc(args.budget)
+        print(
+            f"evicted {len(evicted)} entries "
+            f"({_format_bytes(sum(e.nbytes for e in evicted))}); "
+            f"{_format_bytes(store.total_bytes())} kept in {store.root}"
+        )
+    else:  # purge
+        count = store.purge()
+        print(f"purged {count} entries from {store.root}")
     return 0
 
 
@@ -327,6 +481,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "experiments": _command_experiments,
     "corpus": _command_corpus,
+    "store": _command_store,
 }
 
 

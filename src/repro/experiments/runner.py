@@ -19,6 +19,13 @@ inside the worker.  The assembled results are invariant under the
 worker count: graphs are independent, every stochastic matcher is
 seeded per cell, and assembly follows the deterministic
 ``(graph index, algorithm order)`` grid.
+
+When the corpus itself must be (re)generated, ``artifact_store``
+hands :func:`~repro.pipeline.workbench.generate_corpus` a persistent
+cross-run store (:mod:`repro.pipeline.store`) so embeddings, token
+matrices and entity graphs built by any earlier run over the same
+datasets are loaded instead of rebuilt.  Like ``workers``, it changes
+wall-clock only — results and cache keys are invariant.
 """
 
 from __future__ import annotations
@@ -75,13 +82,16 @@ def run_experiments(
     cache_dir: str | Path | None = None,
     progress: bool = False,
     workers: int | None = None,
+    artifact_store: str | Path | None = None,
 ) -> list[GraphRunResult]:
     """Execute (or load from cache) the full experimental protocol.
 
     ``workers`` parallelizes both stages: corpus generation (see
     :func:`repro.pipeline.workbench.generate_corpus`) and the
-    per-graph matching sweeps (see :func:`run_matching_sweeps`).  It
-    has no effect on the results or on any cache key.
+    per-graph matching sweeps (see :func:`run_matching_sweeps`).
+    ``artifact_store`` points corpus generation at a persistent
+    cross-run artifact store (:mod:`repro.pipeline.store`).  Neither
+    has any effect on the results or on any cache key.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
@@ -97,6 +107,7 @@ def run_experiments(
         cache_dir=cache_dir / "corpus",
         progress=progress,
         workers=workers,
+        artifact_store=artifact_store,
     )
     n_workers = workers if workers is not None else config.corpus.workers
     results = run_matching_sweeps(

@@ -15,7 +15,9 @@ computations run on the deduplicated, blocked, thread-parallel
 pairwise-kernel engine (:mod:`repro.pipeline.kernels`, consumed by
 :mod:`repro.pipeline.batched_strings`), and corpus generation shares
 expensive artifacts across functions (see
-:mod:`repro.pipeline.engine`) so the protocol stays laptop-feasible.
+:mod:`repro.pipeline.engine`) — and, with an
+:class:`~repro.pipeline.store.ArtifactStore` configured, across runs
+and corpus configs — so the protocol stays laptop-feasible.
 """
 
 from repro.pipeline.engine import (
@@ -24,6 +26,7 @@ from repro.pipeline.engine import (
     SpecGroup,
     group_specs,
 )
+from repro.pipeline.store import ArtifactStore, dataset_store_key
 from repro.pipeline.kernels import UniquePlan, kernel_threads
 from repro.pipeline.graph_builder import matrix_to_graph
 from repro.pipeline.similarity_functions import (
@@ -47,6 +50,8 @@ __all__ = [
     "compute_similarity_matrix",
     "matrix_to_graph",
     "ArtifactCache",
+    "ArtifactStore",
+    "dataset_store_key",
     "SimilarityEngine",
     "SpecGroup",
     "group_specs",

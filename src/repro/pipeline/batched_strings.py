@@ -101,6 +101,23 @@ class StringBatch:
         self.lefts = lefts
         self.rights = rights
 
+    def seed_artifact(self, name: str, value) -> None:
+        """Seed the lazy artifact slot ``name`` with a precomputed value.
+
+        Used by the persistent artifact store to hand a loaded
+        artifact to the kernels: ``cached_property`` consults the
+        instance ``__dict__`` first, so seeding the slot skips the
+        build.  An already-computed slot is kept (the seeded value is
+        that same object on the build path).  Rejects names that are
+        not cached artifacts of this class, so a property rename
+        cannot silently turn store hits into rebuilds.
+        """
+        if not isinstance(getattr(type(self), name, None), cached_property):
+            raise AttributeError(
+                f"StringBatch has no cached artifact {name!r}"
+            )
+        self.__dict__.setdefault(name, value)
+
     # ------------------------------------------------ unique universe
     @cached_property
     def plan(self) -> UniquePlan:

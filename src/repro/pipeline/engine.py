@@ -39,9 +39,23 @@ holds derived state of one *generated* dataset only; anything that
 changes the generated data (dataset code, ``scale``, ``max_pairs``,
 ``seed``, noise configuration) must create a fresh
 :class:`ArtifactCache`, which the workbench does by constructing one
-engine per dataset per corpus run.  Nothing is persisted: the
-persistent layer is the graph corpus cache keyed by
-``GraphCorpusConfig.cache_key()``.
+engine per dataset per corpus run.
+
+Persistence
+-----------
+Two layers persist across runs.  The graph corpus cache (keyed by
+``GraphCorpusConfig.cache_key()``) stores finished *results*; the
+:class:`~repro.pipeline.store.ArtifactStore` stores the expensive
+*intermediates*.  A cache constructed with ``store=`` and
+``dataset_key=(code, scale, max_pairs, seed)`` consults the store
+before building any artifact whose kind has a registered codec
+(:data:`repro.pipeline.store.STORE_KINDS`) and commits what it builds,
+so a later run over the same generated dataset — even under a
+different corpus config — loads embeddings, token matrices and entity
+graphs instead of rebuilding them.  Loads count in ``load_counts``
+(not ``build_counts``) and their wall-clock lands in ``miss_seconds``,
+i.e. the artifact stage of :meth:`SimilarityEngine.compute_timed`.
+Results are bit-identical with the store cold, warm or absent.
 
 Parallelism
 -----------
@@ -67,6 +81,7 @@ write disjoint output rows.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import Counter
 from dataclasses import dataclass
 
@@ -111,38 +126,99 @@ class ArtifactCache:
     docstring for the key vocabulary).  ``build_counts`` and
     ``build_seconds`` record each miss for the cache-hit tests and the
     per-stage timing attribution; ``miss_seconds`` is the running total
-    of time spent building artifacts, which
+    of time spent acquiring artifacts (building or loading), which
     :meth:`SimilarityEngine.compute_timed` samples around a matrix
     computation to split artifact cost from measure cost.
+
+    With ``store`` (an :class:`~repro.pipeline.store.ArtifactStore`)
+    and ``dataset_key`` (the ``(code, scale, max_pairs, seed)``
+    identity of the generated dataset), persistable artifact kinds are
+    loaded from disk when present — counted in ``load_counts`` — and
+    committed to disk when built, extending the cache across runs.
     """
 
-    def __init__(self, dataset: CleanCleanDataset) -> None:
+    def __init__(
+        self,
+        dataset: CleanCleanDataset,
+        store=None,
+        dataset_key: tuple | None = None,
+    ) -> None:
+        if store is not None and dataset_key is None:
+            raise ValueError(
+                "a persistent store needs the dataset_key identity "
+                "(code, scale, max_pairs, seed)"
+            )
         self.dataset = dataset
+        self.store = store
+        self.dataset_key = dataset_key
+        self._warned_save_failure = False
         self._store: dict[tuple, object] = {}
         self.build_counts: Counter[tuple] = Counter()
+        self.load_counts: Counter[tuple] = Counter()
         self.build_seconds: dict[tuple, float] = {}
         self._miss_seconds = 0.0
 
     @property
     def miss_seconds(self) -> float:
-        """Total seconds spent building artifacts so far."""
+        """Total seconds spent building or loading artifacts so far."""
         return self._miss_seconds
 
     def get(self, key: tuple, builder):
-        """The artifact under ``key``, building it on first access."""
+        """The artifact under ``key``: memoized, loaded, or built.
+
+        Resolution order — in-memory memo, then the persistent store
+        (persistable kinds only), then ``builder()``; a fresh build is
+        committed back to the store.  Either slow path's wall-clock
+        counts toward ``miss_seconds``.
+        """
         try:
             return self._store[key]
         except KeyError:
             pass
         start = time.perf_counter()
-        value = builder()
+        nested_before = self._miss_seconds
+        value = None
+        if self.store is not None:
+            value = self.store.load(self.dataset_key, key)
+        loaded = value is not None
+        if loaded:
+            self.load_counts[key] += 1
+        else:
+            value = builder()
+            self.build_counts[key] += 1
+            if self.store is not None:
+                try:
+                    self.store.save(self.dataset_key, key, value)
+                except Exception as error:
+                    # The store is an optimization: a full disk, a
+                    # racing cleanup or a codec edge case must not
+                    # kill a run that already holds the built
+                    # artifact (a store-less run would succeed).
+                    # Warn once so a persistently broken store does
+                    # not silently disable persistence.
+                    if not self._warned_save_failure:
+                        self._warned_save_failure = True
+                        warnings.warn(
+                            f"artifact store write failed for {key!r} "
+                            f"({error}); this artifact was not "
+                            "persisted (further store-write failures "
+                            "in this run will not be reported)",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+        # Builders may recurse into the cache (e.g. text embeddings
+        # pool the token embeddings); the nested get() already charged
+        # its own time, so charge this key only the remainder — the
+        # clock stays a wall-clock total under arbitrary nesting.
         elapsed = time.perf_counter() - start
+        nested = self._miss_seconds - nested_before
+        own = max(elapsed - nested, 0.0)
         self._store[key] = value
-        self.build_counts[key] += 1
-        self.build_seconds[key] = (
-            self.build_seconds.get(key, 0.0) + elapsed
-        )
-        self._miss_seconds += elapsed
+        if not loaded:
+            self.build_seconds[key] = (
+                self.build_seconds.get(key, 0.0) + own
+            )
+        self._miss_seconds += own
         return value
 
     # ---------------------------------------------------------- inputs
@@ -183,19 +259,21 @@ class ArtifactCache:
         )
 
     def vector_models(self, unit: str, n: int, weighting: str):
-        space = self.profile_space(unit, n)
-        texts_left, texts_right = self.texts()
-        return self.get(
-            ("vector_model", unit, n, weighting),
-            lambda: build_vector_models(
+        # The profile space resolves inside the builder: a store hit
+        # for both weightings of a (unit, n) model never extracts a
+        # single n-gram profile.
+        def build():
+            texts_left, texts_right = self.texts()
+            return build_vector_models(
                 texts_left,
                 texts_right,
                 n=n,
                 unit=unit,
                 weighting=weighting,
-                space=space,
-            ),
-        )
+                space=self.profile_space(unit, n),
+            )
+
+        return self.get(("vector_model", unit, n, weighting), build)
 
     # --------------------------------------------------- n-gram graphs
     def value_lists(self) -> tuple[list[list[str]], list[list[str]]]:
@@ -208,28 +286,26 @@ class ArtifactCache:
         )
 
     def entity_graphs(self, unit: str, n: int):
-        lists_left, lists_right = self.value_lists()
-        return self.get(
-            ("entity_graphs", unit, n),
-            lambda: entity_graph_matrices(
+        def build():
+            lists_left, lists_right = self.value_lists()
+            return entity_graph_matrices(
                 lists_left, lists_right, n=n, unit=unit
-            ),
-        )
+            )
+
+        return self.get(("entity_graphs", unit, n), build)
 
     def graph_ratio_sums(self, unit: str, n: int) -> np.ndarray:
         """Pairwise ratio sums shared by Value/NormValue/Overall."""
-        sparse_left, sparse_right = self.entity_graphs(unit, n)
         return self.get(
             ("graph_ratio", unit, n),
-            lambda: pairwise_ratio_sum(sparse_left, sparse_right),
+            lambda: pairwise_ratio_sum(*self.entity_graphs(unit, n)),
         )
 
     def graph_common_edges(self, unit: str, n: int) -> np.ndarray:
         """Common-edge counts shared by Containment/Overall."""
-        sparse_left, sparse_right = self.entity_graphs(unit, n)
         return self.get(
             ("graph_common", unit, n),
-            lambda: common_edge_matrix(sparse_left, sparse_right),
+            lambda: common_edge_matrix(*self.entity_graphs(unit, n)),
         )
 
     # ------------------------------------------------ semantic models
@@ -246,32 +322,36 @@ class ArtifactCache:
         ``embed_text`` is exactly the row mean of ``embed_tokens`` (the
         zero vector for token-less texts), so pooling the cached token
         matrices is bit-identical to calling ``embed_texts`` — and one
-        token-embedding pass serves all three semantic measures.
+        token-embedding pass serves all three semantic measures.  The
+        model and token matrices resolve inside the builder, so a
+        store hit serves the cosine/euclidean measures without
+        instantiating a model or touching the token embeddings.
         """
-        model = self.semantic_model(model_name)
-        token_left, token_right = self.token_embeddings(
-            model_name, attribute
-        )
-        return self.get(
-            ("text_embeddings", model_name, attribute),
-            lambda: (
+
+        def build():
+            model = self.semantic_model(model_name)
+            token_left, token_right = self.token_embeddings(
+                model_name, attribute
+            )
+            return (
                 _pool_token_embeddings(token_left, model.dim),
                 _pool_token_embeddings(token_right, model.dim),
-            ),
-        )
+            )
+
+        return self.get(("text_embeddings", model_name, attribute), build)
 
     def token_embeddings(
         self, model_name: str, attribute: str | None
     ) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        model = self.semantic_model(model_name)
-        lefts, rights = self._source(attribute)
-        return self.get(
-            ("token_embeddings", model_name, attribute),
-            lambda: (
+        def build():
+            model = self.semantic_model(model_name)
+            lefts, rights = self._source(attribute)
+            return (
                 [model.embed_tokens(text) for text in lefts],
                 [model.embed_tokens(text) for text in rights],
-            ),
-        )
+            )
+
+        return self.get(("token_embeddings", model_name, attribute), build)
 
     def wmd_stats(self, model_name: str, attribute: str | None):
         """Per-text RWMD statistics (squared norms and weights)."""
@@ -307,7 +387,9 @@ class SimilarityEngine:
     Produces bit-identical results to
     :func:`~repro.pipeline.similarity_functions.compute_similarity_matrix`
     — same kernels, same inputs — while building every shared artifact
-    once.
+    once.  ``store``/``dataset_key`` (see :class:`ArtifactCache`)
+    additionally persist the artifacts across runs; neither affects
+    any produced matrix.
     """
 
     def __init__(
@@ -315,9 +397,19 @@ class SimilarityEngine:
         dataset: CleanCleanDataset,
         cache: ArtifactCache | None = None,
         threads: int = 1,
+        store=None,
+        dataset_key: tuple | None = None,
     ) -> None:
         self.dataset = dataset
-        self.cache = cache if cache is not None else ArtifactCache(dataset)
+        if cache is None:
+            cache = ArtifactCache(dataset, store=store, dataset_key=dataset_key)
+        elif store is not None or dataset_key is not None:
+            raise ValueError(
+                "pass store/dataset_key to the ArtifactCache when "
+                "supplying an explicit cache — they would otherwise "
+                "be silently ignored"
+            )
+        self.cache = cache
         self.threads = max(int(threads), 1)
 
     def compute(self, spec: SimilarityFunctionSpec) -> np.ndarray:
@@ -362,25 +454,32 @@ class SimilarityEngine:
         # Materialize the measure's shared unique-universe artifacts
         # under the cache clock so their cost is attributed to the
         # artifact stage (the batch builds them lazily either way).
+        # When an artifact arrives from the persistent store instead,
+        # seed the batch's lazy slot with it so the kernels consume
+        # the loaded arrays (see StringBatch.seed_artifact).
         self.cache.get(("string_plan", attribute), lambda: batch.plan)
         if measure in ALIGNMENT_MEASURES or measure == "jaro":
-            self.cache.get(
+            encoded = self.cache.get(
                 ("string_unique_encoded", attribute),
                 lambda: (
                     batch.unique_left_encoding,
                     batch.unique_right_encoding,
                 ),
             )
+            batch.seed_artifact("unique_left_encoding", encoded[0])
+            batch.seed_artifact("unique_right_encoding", encoded[1])
         elif measure in TOKEN_MATRIX_MEASURES:
-            self.cache.get(
+            token_sparse = self.cache.get(
                 ("string_unique_tokens", attribute),
                 lambda: batch.unique_token_sparse,
             )
+            batch.seed_artifact("unique_token_sparse", token_sparse)
         elif measure == "monge_elkan":
-            self.cache.get(
+            grid = self.cache.get(
                 ("string_token_grid", attribute),
                 lambda: batch.monge_elkan_grid,
             )
+            batch.seed_artifact("monge_elkan_grid", grid)
         return schema_based_matrix(batch.lefts, batch.rights, measure, batch)
 
     def _vector(self, spec: SimilarityFunctionSpec) -> np.ndarray:

@@ -12,7 +12,15 @@ Generation runs through the shared-artifact engine of
 artifact-sharing groups and each group computes its matrices against a
 per-dataset :class:`~repro.pipeline.engine.ArtifactCache`, which
 eliminates the redundant model/embedding rebuilds of the naive
-per-function loop.  With ``workers > 1`` the groups are distributed
+per-function loop.  With an ``artifact_store`` configured
+(``GraphCorpusConfig.artifact_store``, ``generate_corpus(...,
+artifact_store=PATH)``, ``repro corpus --artifact-store PATH``) the
+cache extends across runs: embeddings, token matrices and entity
+graphs land in a persistent content-addressed
+:class:`~repro.pipeline.store.ArtifactStore` keyed by the generated
+dataset's identity, so corpus configs that share a dataset reuse each
+other's intermediates — warm or cold, the corpus stays bit-identical.
+With ``workers > 1`` the groups are distributed
 over a process pool; when the corpus has too few groups to occupy a
 pool, the same ``workers`` value instead sizes the thread pool of the
 pairwise-kernel engine (:mod:`repro.pipeline.kernels`).  The cache
@@ -32,6 +40,7 @@ applied already at generation time here.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import time
 from concurrent.futures import (
@@ -54,6 +63,7 @@ from repro.pipeline.similarity_functions import (
     FAMILIES,
     enumerate_function_specs,
 )
+from repro.pipeline.store import ArtifactStore, dataset_store_key
 
 __all__ = ["GraphCorpusConfig", "GraphRecord", "generate_corpus"]
 
@@ -70,8 +80,10 @@ class GraphCorpusConfig:
     randomness.  ``schema_based_measures`` / ``ngram_models`` etc. can
     shrink the taxonomy for quick runs (``None`` = the full paper
     configuration).  ``workers`` parallelizes generation over a
-    process pool; it never affects the produced corpus or the cache
-    key — only wall-clock — and is therefore excluded from
+    process pool and ``artifact_store`` points generation at a
+    persistent cross-run :class:`~repro.pipeline.store.ArtifactStore`;
+    neither affects the produced corpus or the cache key — only
+    wall-clock — and both are therefore excluded from
     :meth:`cache_key`.
     """
 
@@ -88,6 +100,7 @@ class GraphCorpusConfig:
     semantic_measures: tuple[str, ...] | None = None
     max_attributes: int | None = None
     workers: int = 1
+    artifact_store: str | None = None
 
     def cache_key(self) -> str:
         """A stable hash of every generation-relevant knob."""
@@ -149,12 +162,18 @@ def generate_corpus(
     cache_dir: str | Path | None = None,
     progress: bool = False,
     workers: int | None = None,
+    artifact_store: str | Path | None = None,
 ) -> list[GraphRecord]:
     """Generate (or load from cache) the graph corpus for ``config``.
 
-    ``workers`` overrides ``config.workers``; any value produces the
-    same corpus as a serial run.
+    ``workers`` overrides ``config.workers`` and ``artifact_store``
+    overrides ``config.artifact_store``; any combination produces the
+    same corpus as a serial, store-less run.
     """
+    if artifact_store is not None:
+        config = dataclasses.replace(
+            config, artifact_store=str(artifact_store)
+        )
     if cache_dir is not None:
         cache_dir = Path(cache_dir) / config.cache_key()
         manifest_path = cache_dir / _MANIFEST_NAME
@@ -185,9 +204,7 @@ def generate_corpus(
         current_code: str | None = None
         for code, group in tasks:
             if code != current_code:
-                engine = SimilarityEngine(
-                    _generate(config, code), threads=n_workers
-                )
+                engine = _make_engine(config, code, threads=n_workers)
                 current_code = code
             chunk = _group_records(engine, group, config)
             if progress:
@@ -204,6 +221,23 @@ def _generate(config: GraphCorpusConfig, code: str) -> CleanCleanDataset:
     return generate_dataset(
         dataset_spec(code, scale=config.scale, max_pairs=config.max_pairs),
         seed=config.seed,
+    )
+
+
+def _make_engine(
+    config: GraphCorpusConfig, code: str, threads: int = 1
+) -> SimilarityEngine:
+    """An engine for one dataset, store-backed when configured."""
+    store = None
+    if config.artifact_store is not None:
+        store = ArtifactStore(config.artifact_store)
+    return SimilarityEngine(
+        _generate(config, code),
+        threads=threads,
+        store=store,
+        dataset_key=dataset_store_key(
+            code, config.scale, config.max_pairs, config.seed
+        ),
     )
 
 
@@ -256,7 +290,11 @@ def _group_worker(
     key = (config.cache_key(), code)
     engine = _WORKER_STATE.get(key)
     if engine is None:
-        engine = SimilarityEngine(_generate(config, code))
+        # Workers share the persistent store directory (not the store
+        # object): every write is atomic and write-once, so racing
+        # workers building the same artifact are safe — the first
+        # commit wins and the others discard (see repro.pipeline.store).
+        engine = _make_engine(config, code)
         _WORKER_STATE.clear()
         _WORKER_STATE[key] = engine
     return _group_records(engine, group, config)

@@ -110,3 +110,107 @@ class TestExperimentsCommand:
         out = capsys.readouterr().out
         assert "Table 4" in out
         assert "Nemenyi" in out
+
+
+class TestArtifactStoreFlags:
+    def test_all_pipeline_commands_accept_the_flag(self):
+        parser = build_parser()
+        for argv in (
+            ["corpus", "--artifact-store", "store"],
+            ["experiments", "--artifact-store", "store"],
+            ["sweep", "g.csv", "t.csv", "--artifact-store", "store"],
+        ):
+            args = parser.parse_args(argv)
+            assert str(args.artifact_store) == "store"
+
+    def test_flag_defaults_to_disabled(self):
+        args = build_parser().parse_args(["corpus"])
+        assert args.artifact_store is None
+
+
+class TestStoreCommand:
+    @pytest.fixture
+    def filled_store(self, tmp_path):
+        import numpy as np
+
+        from repro.pipeline.store import ArtifactStore, dataset_store_key
+
+        store = ArtifactStore(tmp_path / "artifacts")
+        key = dataset_store_key("d1", 0.05, None, 42)
+        for n in (1, 2, 3):
+            store.save(key, ("graph_ratio", "token", n), np.full(64, float(n)))
+        return store
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+    def test_ls_lists_entries(self, filled_store, capsys):
+        exit_code = main(
+            ["store", "ls", "--artifact-store", str(filled_store.root)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "3 entries" in out
+        assert "graph_ratio" in out
+        assert "d1" in out
+
+    def test_gc_honors_budget(self, filled_store, capsys):
+        per_entry = filled_store.entries()[0].nbytes
+        exit_code = main(
+            [
+                "store", "gc",
+                "--artifact-store", str(filled_store.root),
+                "--budget", str(per_entry),
+            ]
+        )
+        assert exit_code == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+        assert len(filled_store.entries()) == 1
+
+    def test_purge_empties(self, filled_store, capsys):
+        exit_code = main(
+            ["store", "purge", "--artifact-store", str(filled_store.root)]
+        )
+        assert exit_code == 0
+        assert "purged 3 entries" in capsys.readouterr().out
+        assert filled_store.entries() == []
+
+    def test_ls_empty_store_is_fine(self, tmp_path, capsys):
+        exit_code = main(["store", "ls", "--artifact-store", str(tmp_path)])
+        assert exit_code == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_gc_rejects_garbage_budget_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["store", "gc", "--budget", "huge"])
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "unparseable size budget" in capsys.readouterr().err
+
+    def test_corpus_reports_store_usage(self, tmp_path, capsys, monkeypatch):
+        # Shrink the smoke corpus to one dataset to keep the test fast.
+        import dataclasses
+
+        from repro.experiments import SMOKE_CONFIG
+
+        tiny = dataclasses.replace(
+            SMOKE_CONFIG,
+            corpus=dataclasses.replace(
+                SMOKE_CONFIG.corpus, datasets=("d1",), max_pairs=1_000
+            ),
+        )
+        monkeypatch.setattr(
+            "repro.experiments.SMOKE_CONFIG", tiny, raising=True
+        )
+        exit_code = main(
+            [
+                "corpus",
+                "--profile", "smoke",
+                "--cache", str(tmp_path / "cache"),
+                "--artifact-store", str(tmp_path / "store"),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "corpus ready" in out
+        assert "artifact store:" in out

@@ -1,0 +1,172 @@
+"""Documentation checks: intra-repo links and CLI-reference drift.
+
+Two invariants keep the docs trustworthy (the CI ``docs`` job runs
+exactly this module):
+
+* every relative link in ``README.md`` and ``docs/*.md`` resolves to a
+  file in the repository;
+* ``docs/CLI.md`` matches the argparse parser in ``repro.cli`` — every
+  subcommand has a section, every flag of a subcommand is documented
+  in its section, and no section documents a flag its subcommand does
+  not have.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG = re.compile(r"(?<![\w/-])--[a-zA-Z][\w-]*")
+
+
+def _subparsers(parser: argparse.ArgumentParser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def _long_flags(parser: argparse.ArgumentParser) -> set[str]:
+    flags = set()
+    for action in parser._actions:
+        flags.update(
+            s for s in action.option_strings if s.startswith("--")
+        )
+    flags.discard("--help")
+    return flags
+
+
+def _positionals(parser: argparse.ArgumentParser) -> set[str]:
+    return {
+        action.dest
+        for action in parser._actions
+        if not action.option_strings
+        and not isinstance(action, argparse._SubParsersAction)
+    }
+
+
+def _sections(text: str, level: int) -> dict[str, str]:
+    """Heading title -> body until the next heading of <= ``level``."""
+    marker = "#" * level
+    pattern = re.compile(
+        rf"^{marker} (.+?)$(.*?)(?=^#{{2,{level}}} |\Z)",
+        re.MULTILINE | re.DOTALL,
+    )
+    return {
+        match.group(1).strip(): match.group(2)
+        for match in pattern.finditer(text)
+    }
+
+
+class TestIntraRepoLinks:
+    @pytest.mark.parametrize(
+        "doc", DOC_FILES, ids=[d.name for d in DOC_FILES]
+    )
+    def test_relative_links_resolve(self, doc):
+        assert doc.exists(), f"missing documentation file {doc}"
+        broken = []
+        for target in _LINK.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not (doc.parent / path).resolve().exists():
+                broken.append(target)
+        assert broken == [], f"broken links in {doc.name}: {broken}"
+
+    def test_docs_exist(self):
+        names = {doc.name for doc in DOC_FILES}
+        assert "README.md" in names
+        assert "ARCHITECTURE.md" in names
+        assert "CLI.md" in names
+
+
+class TestCliReferenceDrift:
+    """``docs/CLI.md`` must mirror ``repro.cli.build_parser`` exactly."""
+
+    @pytest.fixture(scope="class")
+    def text(self):
+        return (REPO_ROOT / "docs" / "CLI.md").read_text()
+
+    @pytest.fixture(scope="class")
+    def commands(self):
+        return _subparsers(build_parser())
+
+    def test_every_command_has_a_section(self, text, commands):
+        sections = _sections(text, 2)
+        missing = [
+            name for name in commands if f"repro {name}" not in sections
+        ]
+        assert missing == [], f"undocumented subcommands: {missing}"
+
+    def test_no_section_for_unknown_command(self, text, commands):
+        sections = _sections(text, 2)
+        unknown = [
+            title for title in sections
+            if title.startswith("repro ")
+            and title.removeprefix("repro ").split()[0] not in commands
+        ]
+        assert unknown == [], f"sections for unknown subcommands: {unknown}"
+
+    def test_every_flag_documented_in_its_section(self, text, commands):
+        sections = _sections(text, 2)
+        problems = []
+        for name, parser in commands.items():
+            section = sections[f"repro {name}"]
+            flags = _long_flags(parser)
+            for sub in _subparsers(parser).values():
+                flags |= _long_flags(sub)
+            for flag in sorted(flags):
+                if flag not in section:
+                    problems.append(f"repro {name}: {flag} undocumented")
+            for positional in sorted(_positionals(parser)):
+                if f"`{positional}`" not in section:
+                    problems.append(
+                        f"repro {name}: positional `{positional}` "
+                        "undocumented"
+                    )
+        assert problems == []
+
+    def test_no_section_documents_a_foreign_flag(self, text, commands):
+        sections = _sections(text, 2)
+        problems = []
+        for name, parser in commands.items():
+            section = sections[f"repro {name}"]
+            known = _long_flags(parser)
+            for sub in _subparsers(parser).values():
+                known |= _long_flags(sub)
+            for flag in sorted(set(_FLAG.findall(section))):
+                if flag not in known:
+                    problems.append(
+                        f"repro {name}: documents unknown flag {flag}"
+                    )
+        assert problems == []
+
+    def test_nested_store_subcommands_have_sections(self, text, commands):
+        store = _subparsers(commands["store"])
+        assert store, "repro store lost its subcommands"
+        sections = _sections(text, 3)
+        for name, parser in store.items():
+            title = f"repro store {name}"
+            assert title in sections, f"undocumented: {title}"
+            for flag in sorted(_long_flags(parser)):
+                assert flag in sections[title], (
+                    f"{title}: {flag} undocumented in its subsection"
+                )
+
+    def test_algorithm_codes_are_current(self, text):
+        from repro.matching.registry import ALGORITHM_CODES
+
+        documented = re.search(r"one of `([A-Z ]+)`", text)
+        assert documented is not None
+        assert documented.group(1).split() == sorted(ALGORITHM_CODES)
