@@ -1,0 +1,44 @@
+"""Shared machine-readable report writer for the engine benchmarks.
+
+Every self-asserting benchmark (`bench_*_engine.py`,
+`bench_matching_sweep.py`, `bench_artifact_store.py`) accepts
+``--json PATH`` and writes one report through :func:`write_report`;
+CI uploads the files as workflow artifacts and renders one summary
+line per report.
+
+``passed`` records the speedup-floor verdict alone — a regressed run
+under ``--no-assert`` still reports ``passed: false`` (with
+``asserted: false``), so report consumers can never mistake a
+tolerated regression for a pass.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def write_report(
+    path: str,
+    benchmark: str,
+    smoke: bool,
+    legacy_seconds: float,
+    engine_seconds: float,
+    speedup: float,
+    floor: float,
+    asserted: bool,
+    **extra,
+) -> None:
+    """Write one benchmark report as JSON."""
+    report = {
+        "benchmark": benchmark,
+        "profile": "smoke" if smoke else "full",
+        "legacy_seconds": legacy_seconds,
+        "engine_seconds": engine_seconds,
+        "speedup": speedup,
+        "floor": floor,
+        "passed": bool(speedup >= floor),
+        "asserted": bool(asserted),
+        **extra,
+    }
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)

@@ -30,6 +30,11 @@ import time
 
 import numpy as np
 
+try:  # direct script execution: benchmarks/ is sys.path[0]
+    from _report import write_report as _write_report
+except ImportError:  # imported as benchmarks.bench_* from the repo root
+    from benchmarks._report import write_report as _write_report
+
 from repro.pipeline.store import ArtifactStore
 from repro.pipeline.workbench import (
     GraphCorpusConfig,
@@ -130,6 +135,10 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=3,
         help="cold/warm timing repeats; the per-phase minimum is used",
     )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the machine-readable report to this path",
+    )
     args = parser.parse_args(argv)
     config = SMOKE_CONFIG if args.smoke else REDUCED_CONFIG
 
@@ -184,7 +193,20 @@ def main(argv: list[str] | None = None) -> int:
         )
     last_store.cleanup()
 
-    if not args.no_assert and speedup < MIN_SPEEDUP:
+    passed = speedup >= MIN_SPEEDUP
+    if args.json:
+        _write_report(
+            args.json,
+            "bench_artifact_store",
+            smoke=args.smoke,
+            legacy_seconds=cold_seconds,
+            engine_seconds=warm_seconds,
+            speedup=speedup,
+            floor=MIN_SPEEDUP,
+            asserted=not args.no_assert,
+            graphs=len(warm),
+        )
+    if not args.no_assert and not passed:
         print(
             f"[bench_artifact_store] FAIL: warm-rerun speedup "
             f"{speedup:.2f}x below the {MIN_SPEEDUP:.1f}x floor",

@@ -28,6 +28,11 @@ import time
 
 import numpy as np
 
+try:  # direct script execution: benchmarks/ is sys.path[0]
+    from _report import write_report as _write_report
+except ImportError:  # imported as benchmarks.bench_* from the repo root
+    from benchmarks._report import write_report as _write_report
+
 from repro.datasets.catalog import dataset_spec
 from repro.datasets.generator import generate_dataset
 from repro.pipeline.graph_builder import matrix_to_graph
@@ -174,6 +179,10 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=3,
         help="interleaved timing repeats; the per-path minimum is used",
     )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the machine-readable report to this path",
+    )
     args = parser.parse_args(argv)
     config = SMOKE_CONFIG if args.smoke else REDUCED_CONFIG
 
@@ -215,7 +224,20 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     floor = MIN_SPEEDUP_SMOKE if args.smoke else MIN_SPEEDUP
-    if not args.no_assert and speedup < floor:
+    passed = speedup >= floor
+    if args.json:
+        _write_report(
+            args.json,
+            "bench_corpus_engine",
+            smoke=args.smoke,
+            legacy_seconds=direct_seconds,
+            engine_seconds=engine_seconds,
+            speedup=speedup,
+            floor=floor,
+            asserted=not args.no_assert,
+            graphs=len(engine),
+        )
+    if not args.no_assert and not passed:
         print(
             f"[bench_corpus_engine] FAIL: speedup {speedup:.2f}x below "
             f"the {floor:.1f}x floor",

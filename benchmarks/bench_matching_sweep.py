@@ -42,6 +42,11 @@ import time
 
 import numpy as np
 
+try:  # direct script execution: benchmarks/ is sys.path[0]
+    from _report import write_report as _write_report
+except ImportError:  # imported as benchmarks.bench_* from the repo root
+    from benchmarks._report import write_report as _write_report
+
 from repro.evaluation.metrics import evaluate_pairs
 from repro.evaluation.sweep import (
     DEFAULT_THRESHOLD_GRID,
@@ -249,6 +254,10 @@ def main(argv: list[str] | None = None) -> int:
         "--repeats", type=int, default=2,
         help="interleaved timing repeats; the per-path minimum is used",
     )
+    parser.add_argument(
+        "--json", type=str, default=None,
+        help="write the machine-readable report to this path",
+    )
     args = parser.parse_args(argv)
     shapes = SMOKE_SHAPES if args.smoke else DEFAULT_SHAPES
     records = synthetic_records(shapes)
@@ -303,7 +312,20 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     floor = MIN_SPEEDUP_SMOKE if args.smoke else MIN_SPEEDUP
-    if not args.no_assert and speedup < floor:
+    passed = speedup >= floor
+    if args.json:
+        _write_report(
+            args.json,
+            "bench_matching_sweep",
+            smoke=args.smoke,
+            legacy_seconds=legacy_seconds,
+            engine_seconds=engine_seconds,
+            speedup=speedup,
+            floor=floor,
+            asserted=not args.no_assert,
+            cells=n_cells,
+        )
+    if not args.no_assert and not passed:
         print(
             f"[bench_matching_sweep] FAIL: speedup {speedup:.2f}x below "
             f"the {floor:.1f}x floor",

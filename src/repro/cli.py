@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the library's main entry points:
+Seven subcommands cover the library's main entry points:
 
 ``repro match``
     Run one algorithm on an edge-list CSV (``left,right,weight``) and
@@ -21,6 +21,12 @@ Six subcommands cover the library's main entry points:
     Generate (or warm the cache of) the similarity-graph corpus via
     the shared-artifact engine, optionally over several worker
     processes, and print the per-stage cost breakdown.
+``repro dirty-er``
+    Generate the dirty-ER self-join corpus (the union collection
+    joined with itself, through the same engine/store stack) and
+    threshold-sweep the four clustering algorithms (CC, MCC, EMCC,
+    GECG) on the compiled unipartite engine, printing the macro
+    cluster-level effectiveness table.
 ``repro store``
     Inspect (``ls``), shrink (``gc``) or empty (``purge``) the
     persistent cross-run artifact store that ``--artifact-store``
@@ -61,6 +67,21 @@ def _size_budget(text: str) -> int:
         return parse_size_budget(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_store_flags(parser, store_help: str) -> None:
+    """The persistent-store flag pair shared by the corpus-generating
+    subcommands (``experiments``, ``corpus``, ``dirty-er``)."""
+    parser.add_argument(
+        "--artifact-store", type=Path, default=None, help=store_help
+    )
+    parser.add_argument(
+        "--store-read-tier", type=Path, default=None,
+        help=(
+            "shared read-only store directory layered under "
+            "--artifact-store; tier hits never write anywhere"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,12 +147,10 @@ def build_parser() -> argparse.ArgumentParser:
             "sweep cells (default: serial)"
         ),
     )
-    experiments.add_argument(
-        "--artifact-store", type=Path, default=None,
-        help=(
-            "persistent cross-run artifact store for corpus "
-            "generation (default: disabled)"
-        ),
+    _add_store_flags(
+        experiments,
+        "persistent cross-run artifact store for corpus generation "
+        "(default: disabled)",
     )
 
     corpus = commands.add_parser(
@@ -149,13 +168,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="print every generated graph with its stage timings",
     )
-    corpus.add_argument(
-        "--artifact-store", type=Path, default=None,
+    _add_store_flags(
+        corpus,
+        "persistent cross-run artifact store: embeddings, token "
+        "matrices and entity graphs are reused by every config "
+        "sharing a dataset (default: disabled)",
+    )
+
+    dirty = commands.add_parser(
+        "dirty-er",
+        help="cluster the dirty-ER self-join corpus and print the table",
+    )
+    dirty.add_argument(
+        "--profile", choices=("default", "smoke"), default="smoke"
+    )
+    dirty.add_argument("--cache", type=Path, default=None)
+    dirty.add_argument(
+        "--algorithm", "-a", default="all",
+        help="clustering code (CC, MCC, EMCC, GECG) or 'all'",
+    )
+    dirty.add_argument(
+        "--workers", "-j", type=int, default=None,
         help=(
-            "persistent cross-run artifact store: embeddings, token "
-            "matrices and entity graphs are reused by every config "
-            "sharing a dataset (default: disabled)"
+            "worker processes for corpus generation and the per-graph "
+            "clustering sweeps (default: serial)"
         ),
+    )
+    dirty.add_argument(
+        "--progress", action="store_true",
+        help="print every generated graph and swept graph as it lands",
+    )
+    _add_store_flags(
+        dirty,
+        "persistent cross-run artifact store for self-join corpus "
+        "generation (default: disabled)",
     )
 
     store = commands.add_parser(
@@ -184,6 +230,17 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
     return parser
+
+
+def _store_read_tier(args: argparse.Namespace) -> Path | None:
+    """Validated ``--store-read-tier``: only meaningful with a
+    writable ``--artifact-store`` above it."""
+    if args.store_read_tier is not None and args.artifact_store is None:
+        raise SystemExit(
+            "error: --store-read-tier requires --artifact-store (the "
+            "tier is read-only; a writable store must sit above it)"
+        )
+    return args.store_read_tier
 
 
 def _read_graph(path: Path) -> SimilarityGraph:
@@ -337,6 +394,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         cache_dir=args.cache,
         workers=args.workers,
         artifact_store=args.artifact_store,
+        store_read_tier=_store_read_tier(args),
     )
     rows = [
         [
@@ -383,6 +441,7 @@ def _command_corpus(args: argparse.Namespace) -> int:
         progress=args.progress,
         workers=args.workers,
         artifact_store=args.artifact_store,
+        store_read_tier=_store_read_tier(args),
     )
     artifact = sum(r.artifact_seconds for r in records)
     matrix = sum(r.matrix_seconds for r in records)
@@ -406,6 +465,81 @@ def _command_corpus(args: argparse.Namespace) -> int:
             f"{_format_bytes(sum(e.nbytes for e in entries))} "
             f"-> {store.root}"
         )
+    return 0
+
+
+def _command_dirty_er(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import format_float
+    from repro.experiments import DEFAULT_BENCH_CONFIG, SMOKE_CONFIG
+    from repro.experiments.config import default_cache_dir
+    from repro.experiments.dirty_er import run_dirty_er_sweeps
+    from repro.extensions.dirty_er import DIRTY_ALGORITHM_CODES
+    from repro.pipeline.workbench import generate_dirty_corpus
+
+    config = (
+        DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
+    )
+    if args.algorithm == "all":
+        codes = DIRTY_ALGORITHM_CODES
+    else:
+        code = args.algorithm.upper()
+        if code not in DIRTY_ALGORITHM_CODES:
+            print(
+                f"unknown dirty-ER algorithm {args.algorithm!r}; expected "
+                f"one of {' '.join(DIRTY_ALGORITHM_CODES)} or 'all'",
+                file=sys.stderr,
+            )
+            return 2
+        codes = (code,)
+    cache = args.cache if args.cache is not None else default_cache_dir()
+    records = generate_dirty_corpus(
+        config.corpus,
+        cache_dir=cache / "corpus",
+        progress=args.progress,
+        workers=args.workers,
+        artifact_store=args.artifact_store,
+        store_read_tier=_store_read_tier(args),
+    )
+    workers = args.workers if args.workers is not None else 1
+    results = run_dirty_er_sweeps(
+        records,
+        codes=codes,
+        grid=config.grid,
+        progress=args.progress,
+        workers=workers,
+    )
+    rows = []
+    for code in codes:
+        sweeps = [result.sweeps[code] for result in results]
+        n = max(len(sweeps), 1)
+        rows.append(
+            [
+                code,
+                format_float(
+                    sum(s.best_threshold for s in sweeps) / n
+                ),
+                format_float(
+                    sum(s.best_scores.precision for s in sweeps) / n
+                ),
+                format_float(
+                    sum(s.best_scores.recall for s in sweeps) / n
+                ),
+                format_float(
+                    sum(s.best_scores.f_measure for s in sweeps) / n
+                ),
+                f"{1000 * sum(s.best_seconds for s in sweeps) / n:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["alg", "t*", "P", "R", "F1", "ms"],
+            rows,
+            title=(
+                f"Dirty-ER clustering over {len(results)} self-join "
+                f"graphs ({args.profile} profile, macro averages)"
+            ),
+        )
+    )
     return 0
 
 
@@ -481,6 +615,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "experiments": _command_experiments,
     "corpus": _command_corpus,
+    "dirty-er": _command_dirty_er,
     "store": _command_store,
 }
 

@@ -19,6 +19,8 @@
 from repro.evaluation.metrics import (
     EffectivenessScores,
     GroundTruthIndex,
+    clusters_to_pairs,
+    evaluate_clusters,
     evaluate_pairs,
 )
 from repro.evaluation.stats import (
@@ -31,6 +33,7 @@ from repro.evaluation.stats import (
 from repro.evaluation.sweep import (
     DEFAULT_THRESHOLD_GRID,
     SweepResult,
+    dirty_threshold_sweep,
     optimal_threshold,
     threshold_sweep,
     threshold_sweep_best_of,
@@ -40,6 +43,9 @@ __all__ = [
     "EffectivenessScores",
     "GroundTruthIndex",
     "evaluate_pairs",
+    "clusters_to_pairs",
+    "evaluate_clusters",
+    "dirty_threshold_sweep",
     "DEFAULT_THRESHOLD_GRID",
     "SweepResult",
     "threshold_sweep",

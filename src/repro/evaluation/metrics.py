@@ -13,6 +13,14 @@ the same ground truth hundreds of times, so
 :class:`GroundTruthIndex` pre-sorts the truth pairs once and answers
 every subsequent lookup with a vectorized binary search, producing
 numbers identical to :func:`evaluate_pairs`.
+
+The Dirty-ER extension scores *clusterings* instead of matchings:
+every intra-cluster pair is an asserted duplicate, so a clustering is
+evaluated by the pair-level precision/recall/F1 of its induced pair
+set (:func:`clusters_to_pairs`, :func:`evaluate_clusters`,
+:meth:`GroundTruthIndex.score_clusters`).  Singletons induce no pairs
+and carry no weight in either direction, mirroring the bipartite
+convention.
 """
 
 from __future__ import annotations
@@ -22,7 +30,13 @@ from typing import Iterable
 
 import numpy as np
 
-__all__ = ["EffectivenessScores", "GroundTruthIndex", "evaluate_pairs"]
+__all__ = [
+    "EffectivenessScores",
+    "GroundTruthIndex",
+    "evaluate_pairs",
+    "clusters_to_pairs",
+    "evaluate_clusters",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +77,35 @@ def evaluate_pairs(
         output_pairs=n_output,
         ground_truth_pairs=n_truth,
     )
+
+
+def clusters_to_pairs(
+    clusters: Iterable[Iterable[int]],
+) -> set[tuple[int, int]]:
+    """All intra-cluster node pairs, canonically oriented (``u < v``).
+
+    This is the pair set a Dirty-ER clustering asserts: every two
+    members of one cluster are claimed duplicates.  Singleton clusters
+    contribute nothing.
+    """
+    from itertools import combinations
+
+    pairs: set[tuple[int, int]] = set()
+    for cluster in clusters:
+        pairs.update(combinations(sorted(cluster), 2))
+    return pairs
+
+
+def evaluate_clusters(
+    clusters: Iterable[Iterable[int]],
+    ground_truth: set[tuple[int, int]],
+) -> EffectivenessScores:
+    """Pair-level precision/recall/F1 of a Dirty-ER clustering.
+
+    The ground truth holds canonical ``(u, v)`` duplicate pairs with
+    ``u < v``; the clustering is scored by the pairs it induces.
+    """
+    return evaluate_pairs(clusters_to_pairs(clusters), ground_truth)
 
 
 def _pair_keys(pairs: np.ndarray) -> np.ndarray:
@@ -117,9 +160,37 @@ class GroundTruthIndex:
         """Number of distinct output pairs present in the truth set."""
         return self._match_count(self._distinct_keys(pairs))
 
+    def score_clusters(
+        self, clusters: Iterable[Iterable[int]]
+    ) -> EffectivenessScores:
+        """Score a Dirty-ER clustering; identical to
+        :func:`evaluate_clusters` against the same ground truth.
+
+        Disjoint clusters induce intrinsically distinct pairs, so the
+        keys are assembled vectorized per cluster (``triu_indices``)
+        and only sorted — no dedup pass, no Python tuple set.
+        """
+        key_chunks = []
+        for cluster in clusters:
+            if len(cluster) < 2:
+                continue
+            nodes = np.fromiter(cluster, dtype=np.int64)
+            nodes.sort()
+            first, second = np.triu_indices(len(nodes), k=1)
+            key_chunks.append((nodes[first] << 32) | nodes[second])
+        if not key_chunks:
+            keys = np.zeros(0, dtype=np.int64)
+        else:
+            keys = np.concatenate(key_chunks)
+            keys.sort()
+        return self._score_keys(keys)
+
     def score(self, pairs: Iterable[tuple[int, int]]) -> EffectivenessScores:
         """Score matched pairs; identical to :func:`evaluate_pairs`."""
-        keys = self._distinct_keys(pairs)
+        return self._score_keys(self._distinct_keys(pairs))
+
+    def _score_keys(self, keys: np.ndarray) -> EffectivenessScores:
+        """Score pre-sorted, distinct fold keys."""
         n_output = len(keys)
         true_positives = self._match_count(keys)
         precision = true_positives / n_output if n_output else 0.0

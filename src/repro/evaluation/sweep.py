@@ -41,6 +41,7 @@ __all__ = [
     "SweepResult",
     "threshold_sweep",
     "threshold_sweep_best_of",
+    "dirty_threshold_sweep",
     "optimal_threshold",
 ]
 
@@ -194,6 +195,67 @@ def threshold_sweep_best_of(
         for matcher in matchers
     ]
     return max(sweeps, key=lambda s: s.best_scores.f_measure)
+
+
+def dirty_threshold_sweep(
+    clusterer,
+    graph,
+    ground_truth: set[tuple[int, int]],
+    grid: tuple[float, ...] = DEFAULT_THRESHOLD_GRID,
+    skip_equivalent: bool = True,
+    truth_index: GroundTruthIndex | None = None,
+) -> SweepResult:
+    """The Dirty-ER counterpart of :func:`threshold_sweep`.
+
+    ``clusterer`` is a :class:`repro.extensions.dirty_er.DirtyClusterer`
+    and ``graph`` a :class:`repro.graph.unipartite.UnipartiteGraph`;
+    the graph is compiled once up front (descending edge permutation,
+    symmetric CSR — see :mod:`repro.graph.unipartite`) and every grid
+    point runs the clusterer's compiled kernel against a cached
+    inclusive threshold selection, scored at cluster level through the
+    shared :class:`~repro.evaluation.metrics.GroundTruthIndex`.
+
+    ``skip_equivalent`` mirrors the bipartite sweep: every clustering
+    algorithm observes the threshold only through ``w >= t``
+    comparisons, so a grid step containing no edge weight cannot
+    change the output.  ``seconds`` is the warm-engine marginal, with
+    one untimed call at the first grid threshold.
+    """
+    compiled = graph.compiled()
+    if truth_index is None:
+        truth_index = GroundTruthIndex(ground_truth)
+    if grid:
+        clusterer.cluster_compiled(compiled, grid[0])  # warm, untimed
+
+    result = SweepResult(algorithm=clusterer.code)
+    sorted_weights = compiled.weight_ascending if skip_equivalent else None
+    previous_threshold: float | None = None
+    previous_point: SweepPoint | None = None
+    for threshold in grid:
+        if (
+            previous_point is not None
+            and sorted_weights is not None
+            and _no_weight_in_range(
+                sorted_weights, previous_threshold, threshold
+            )
+        ):
+            point = SweepPoint(
+                threshold=threshold,
+                scores=previous_point.scores,
+                seconds=previous_point.seconds,
+            )
+        else:
+            start = time.perf_counter()
+            clusters = clusterer.cluster_compiled(compiled, threshold)
+            elapsed = time.perf_counter() - start
+            scores = truth_index.score_clusters(clusters)
+            point = SweepPoint(
+                threshold=threshold, scores=scores, seconds=elapsed
+            )
+        result.points.append(point)
+        previous_threshold = threshold
+        previous_point = point
+    return result
 
 
 def optimal_threshold(

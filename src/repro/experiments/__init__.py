@@ -20,6 +20,7 @@ from repro.experiments.config import (
     SMOKE_CONFIG,
     ExperimentConfig,
 )
+from repro.experiments.dirty_er import run_dirty_er_sweeps
 from repro.experiments.runner import (
     GraphRunResult,
     run_experiments,
@@ -31,4 +32,5 @@ __all__ = [
     "SMOKE_CONFIG",
     "GraphRunResult",
     "run_experiments",
+    "run_dirty_er_sweeps",
 ]

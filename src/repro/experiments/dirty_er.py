@@ -1,0 +1,154 @@
+"""Dirty-ER experiment runner: clustering sweeps over the self-join corpus.
+
+The Dirty-ER counterpart of :mod:`repro.experiments.runner`: for every
+self-join graph of the dirty corpus
+(:func:`repro.pipeline.workbench.generate_dirty_corpus`), every
+clustering algorithm (CC, MCC, EMCC, GECG) runs a full threshold sweep
+on the compiled unipartite engine — the graph is compiled once per
+record and all algorithms and thresholds share its cached selections —
+scored at cluster level through one shared
+:class:`~repro.evaluation.metrics.GroundTruthIndex` per graph.
+
+With ``workers > 1`` whole graphs are distributed over a process pool
+(one task and one graph pickle per graph, all algorithm sweeps inside
+the worker), exactly like :func:`~repro.experiments.runner.run_matching_sweeps`;
+results are assembled on the deterministic ``(record index, algorithm
+order)`` grid, so the output is invariant under the worker count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.evaluation.metrics import GroundTruthIndex
+from repro.evaluation.sweep import (
+    DEFAULT_THRESHOLD_GRID,
+    SweepResult,
+    dirty_threshold_sweep,
+)
+from repro.experiments.runner import GraphRunResult
+from repro.extensions.dirty_er import (
+    DIRTY_ALGORITHM_CODES,
+    create_clusterer,
+)
+from repro.graph.unipartite import UnipartiteGraph
+from repro.pipeline.workbench import DirtyGraphRecord
+
+__all__ = ["run_dirty_er_sweeps"]
+
+
+def run_dirty_er_sweeps(
+    records: list[DirtyGraphRecord],
+    codes: tuple[str, ...] = DIRTY_ALGORITHM_CODES,
+    grid: tuple[float, ...] = DEFAULT_THRESHOLD_GRID,
+    progress: bool = False,
+    workers: int = 1,
+) -> list[GraphRunResult]:
+    """Threshold-sweep every clustering algorithm over every record.
+
+    Returns one :class:`~repro.experiments.runner.GraphRunResult` per
+    record (``normalized_size`` is the unipartite pair-space density).
+    The unit of parallel work is one graph; a single-record corpus
+    falls back to one task per algorithm so a pool still has work.
+    Results are identical for any ``workers`` value.
+    """
+    if workers > 1 and len(records) == 1 and len(codes) > 1:
+        record = records[0]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _sweep_dirty_graph,
+                    record.graph,
+                    record.ground_truth,
+                    (code,),
+                    grid,
+                )
+                for code in codes
+            ]
+            merged: dict[str, SweepResult] = {}
+            for future in futures:
+                merged.update(future.result())
+        sweeps = {code: merged[code] for code in codes}
+        if progress:
+            _print_progress(record, sweeps)
+        all_sweeps = [sweeps]
+    elif workers > 1 and len(records) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _sweep_dirty_graph,
+                    record.graph,
+                    record.ground_truth,
+                    codes,
+                    grid,
+                ): index
+                for index, record in enumerate(records)
+            }
+            by_index: dict[int, dict[str, SweepResult]] = {}
+            for future in as_completed(futures):
+                index = futures[future]
+                by_index[index] = future.result()
+                if progress:
+                    _print_progress(records[index], by_index[index])
+        all_sweeps = [by_index[index] for index in range(len(records))]
+    else:
+        all_sweeps = []
+        for record in records:
+            truth_index = GroundTruthIndex(record.ground_truth)
+            sweeps = {
+                code: dirty_threshold_sweep(
+                    create_clusterer(code),
+                    record.graph,
+                    record.ground_truth,
+                    grid,
+                    truth_index=truth_index,
+                )
+                for code in codes
+            }
+            record.graph.release_compiled()
+            if progress:
+                _print_progress(record, sweeps)
+            all_sweeps.append(sweeps)
+
+    return [
+        GraphRunResult(
+            dataset=record.dataset,
+            family=record.family,
+            function=record.function,
+            category=record.category,
+            n_edges=record.n_edges,
+            normalized_size=record.graph.density,
+            sweeps=sweeps,
+        )
+        for record, sweeps in zip(records, all_sweeps)
+    ]
+
+
+def _sweep_dirty_graph(
+    graph: UnipartiteGraph,
+    ground_truth: set[tuple[int, int]],
+    codes: tuple[str, ...],
+    grid: tuple[float, ...],
+) -> dict[str, SweepResult]:
+    """One process-pool work unit: all clustering sweeps of one graph."""
+    truth_index = GroundTruthIndex(ground_truth)
+    return {
+        code: dirty_threshold_sweep(
+            create_clusterer(code),
+            graph,
+            ground_truth,
+            grid,
+            truth_index=truth_index,
+        )
+        for code in codes
+    }
+
+
+def _print_progress(
+    record: DirtyGraphRecord, sweeps: dict[str, SweepResult]
+) -> None:
+    best = max(sweeps.values(), key=lambda s: s.best_scores.f_measure)
+    print(
+        f"[dirty-er] {record.dataset} {record.function}: top F1 "
+        f"{best.best_scores.f_measure:.3f} ({best.algorithm})"
+    )

@@ -83,6 +83,7 @@ def run_experiments(
     progress: bool = False,
     workers: int | None = None,
     artifact_store: str | Path | None = None,
+    store_read_tier: str | Path | None = None,
 ) -> list[GraphRunResult]:
     """Execute (or load from cache) the full experimental protocol.
 
@@ -90,8 +91,10 @@ def run_experiments(
     :func:`repro.pipeline.workbench.generate_corpus`) and the
     per-graph matching sweeps (see :func:`run_matching_sweeps`).
     ``artifact_store`` points corpus generation at a persistent
-    cross-run artifact store (:mod:`repro.pipeline.store`).  Neither
-    has any effect on the results or on any cache key.
+    cross-run artifact store (:mod:`repro.pipeline.store`) and
+    ``store_read_tier`` layers a shared read-only store directory
+    under it.  None of the three has any effect on the results or on
+    any cache key.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
@@ -108,6 +111,7 @@ def run_experiments(
         progress=progress,
         workers=workers,
         artifact_store=artifact_store,
+        store_read_tier=store_read_tier,
     )
     n_workers = workers if workers is not None else config.corpus.workers
     results = run_matching_sweeps(

@@ -3,8 +3,7 @@
 In Dirty ER one collection contains duplicates of itself, so the
 similarity graph is *not* bipartite and clusters may hold any number
 of profiles.  The paper's related-work section sketches three recent
-methods (beyond plain connected components), implemented here on
-:mod:`networkx`:
+methods (beyond plain connected components):
 
 * **Maximum Clique Clustering (MCC)** — ignore edge weights and
   repeatedly remove the maximum clique (with its vertices) until all
@@ -16,6 +15,30 @@ methods (beyond plain connected components), implemented here on
   thresholded edge labelling and iteratively flip the label of the
   edge whose flip most increases the number of label-consistent
   triangles; clusters are the components of match-labelled edges.
+
+Since the compiled port, every algorithm has three entry points,
+mirroring the bipartite matchers' convention:
+
+* ``<algorithm>(graph, threshold)`` — the public API; accepts a
+  :class:`~repro.graph.unipartite.UnipartiteGraph` or the legacy
+  ``nx.Graph`` and runs the compiled kernel (compiling implicitly);
+* ``<algorithm>_compiled(view, threshold)`` — the sweep-native kernel
+  over a :class:`~repro.graph.unipartite.CompiledUnipartiteGraph`:
+  cached threshold selections, ``scipy.sparse.csgraph`` components,
+  Python-int adjacency *bitsets* for the clique growth, and the GECG
+  triangle-consistency gain as two sparse matmuls per iteration;
+* ``<algorithm>_legacy(graph, threshold)`` — the frozen networkx
+  reference body, the oracle of the differential tests and of
+  ``benchmarks/bench_dirty_er_engine.py``.
+
+Determinism note: the pre-port prototype delegated clique selection to
+``nx.max_weight_clique``, whose result among equal-size cliques is an
+implementation detail.  Both paths now use one *canonical* rule — the
+maximum-cardinality maximal clique, ties broken by the
+lexicographically smallest sorted vertex list — and GECG breaks gain
+ties by ascending ``(u, v)`` edge order, so legacy and compiled
+clusterings are identical partition-for-partition, not just
+equivalent up to tie choices.
 """
 
 from __future__ import annotations
@@ -23,24 +46,42 @@ from __future__ import annotations
 from typing import Iterable
 
 import networkx as nx
+import numpy as np
+
+from repro.graph.selection import selection_mask
+from repro.graph.unipartite import CompiledUnipartiteGraph, UnipartiteGraph
 
 __all__ = [
     "DirtyERGraph",
+    "DirtyClusterer",
+    "DIRTY_ALGORITHM_CODES",
+    "create_clusterer",
+    "build_graph",
     "connected_components_clusters",
+    "connected_components_clusters_compiled",
+    "connected_components_clusters_legacy",
     "maximum_clique_clustering",
+    "maximum_clique_clustering_compiled",
+    "maximum_clique_clustering_legacy",
     "extended_maximum_clique_clustering",
+    "extended_maximum_clique_clustering_compiled",
+    "extended_maximum_clique_clustering_legacy",
     "global_edge_consistency_gain",
+    "global_edge_consistency_gain_compiled",
+    "global_edge_consistency_gain_legacy",
 ]
 
-#: A Dirty-ER similarity graph: any undirected weighted nx.Graph whose
-#: edge attribute ``weight`` carries the similarity in [0, 1].
+#: A legacy Dirty-ER similarity graph: any undirected weighted
+#: nx.Graph whose edge attribute ``weight`` carries the similarity in
+#: [0, 1].  The engine-native representation is
+#: :class:`~repro.graph.unipartite.UnipartiteGraph`.
 DirtyERGraph = nx.Graph
 
 
 def build_graph(
     n_nodes: int, edges: Iterable[tuple[int, int, float]]
 ) -> DirtyERGraph:
-    """Convenience constructor for a Dirty-ER similarity graph."""
+    """Convenience constructor for a legacy (networkx) Dirty-ER graph."""
     graph = nx.Graph()
     graph.add_nodes_from(range(n_nodes))
     for u, v, weight in edges:
@@ -48,6 +89,23 @@ def build_graph(
     return graph
 
 
+def _as_unipartite(graph) -> UnipartiteGraph:
+    """Accept either graph representation at the public entry points."""
+    if isinstance(graph, UnipartiteGraph):
+        return graph
+    return UnipartiteGraph.from_networkx(graph)
+
+
+def _as_networkx(graph) -> DirtyERGraph:
+    """Accept either graph representation at the legacy entry points."""
+    if isinstance(graph, UnipartiteGraph):
+        return graph.to_networkx()
+    return graph
+
+
+# ======================================================================
+# Frozen legacy bodies (networkx) — the differential-testing oracle
+# ======================================================================
 def _pruned(graph: DirtyERGraph, threshold: float) -> DirtyERGraph:
     pruned = nx.Graph()
     pruned.add_nodes_from(graph.nodes)
@@ -59,50 +117,75 @@ def _pruned(graph: DirtyERGraph, threshold: float) -> DirtyERGraph:
     return pruned
 
 
-def connected_components_clusters(
+def _canonical_max_clique_nx(graph: DirtyERGraph) -> list[int]:
+    """The canonical maximum clique: max size, then lex-smallest.
+
+    Enumerates the maximal cliques (every maximum clique is maximal)
+    and keeps the largest, breaking size ties by the lexicographically
+    smallest sorted vertex list — the rule the compiled bitset kernel
+    implements identically.
+    """
+    best_size = 0
+    best: list[int] | None = None
+    for clique in nx.find_cliques(graph):
+        candidate = sorted(clique)
+        if len(candidate) > best_size or (
+            len(candidate) == best_size
+            and best is not None
+            and candidate < best
+        ):
+            best_size, best = len(candidate), candidate
+    return best or []
+
+
+def connected_components_clusters_legacy(
     graph: DirtyERGraph, threshold: float
 ) -> list[set[int]]:
     """Transitive closure of the pruned graph (clusters of any size)."""
+    graph = _as_networkx(graph)
     pruned = _pruned(graph, threshold)
     return [set(component) for component in nx.connected_components(pruned)]
 
 
-def maximum_clique_clustering(
+def maximum_clique_clustering_legacy(
     graph: DirtyERGraph, threshold: float
 ) -> list[set[int]]:
-    """MCC: iteratively remove the maximum clique.
+    """MCC: iteratively remove the canonical maximum clique.
 
     Edge weights are ignored after pruning, per the paper's
     description.  Singleton leftovers become singleton clusters.
     """
+    graph = _as_networkx(graph)
     working = _pruned(graph, threshold)
     clusters: list[set[int]] = []
     while working.number_of_edges() > 0:
-        clique, _ = nx.max_weight_clique(working, weight=None)
+        clique = _canonical_max_clique_nx(working)
         clusters.append(set(clique))
         working.remove_nodes_from(clique)
     clusters.extend({node} for node in working.nodes)
     return clusters
 
 
-def extended_maximum_clique_clustering(
+def extended_maximum_clique_clustering_legacy(
     graph: DirtyERGraph,
     threshold: float,
     attachment_fraction: float = 0.5,
 ) -> list[set[int]]:
-    """EMCC: remove maximal cliques, then enlarge them.
+    """EMCC: remove canonical maximal cliques, then enlarge them.
 
     After removing a clique, outside vertices adjacent (in the pruned
     graph) to at least ``attachment_fraction`` of the clique's members
-    join the cluster.
+    join the cluster; candidates are examined in ascending node order
+    against the *growing* cluster.
     """
     if not 0.0 < attachment_fraction <= 1.0:
         raise ValueError("attachment_fraction must be in (0, 1]")
+    graph = _as_networkx(graph)
     pruned = _pruned(graph, threshold)
     working = pruned.copy()
     clusters: list[set[int]] = []
     while working.number_of_edges() > 0:
-        clique, _ = nx.max_weight_clique(working, weight=None)
+        clique = _canonical_max_clique_nx(working)
         cluster = set(clique)
         required = max(1, int(round(attachment_fraction * len(cluster))))
         candidates = set(working.nodes) - cluster
@@ -118,7 +201,7 @@ def extended_maximum_clique_clustering(
     return clusters
 
 
-def global_edge_consistency_gain(
+def global_edge_consistency_gain_legacy(
     graph: DirtyERGraph,
     threshold: float,
     max_iterations: int = 100,
@@ -127,10 +210,12 @@ def global_edge_consistency_gain(
 
     A triangle is *consistent* when its three edges carry the same
     label.  Starting from the thresholded labelling, the single flip
-    with the largest positive consistency gain is applied per
-    iteration until no flip helps (or the iteration budget runs out);
-    clusters are the connected components of match-labelled edges.
+    with the largest positive consistency gain — ties broken by
+    ascending ``(u, v)`` edge order — is applied per iteration until
+    no flip helps (or the iteration budget runs out); clusters are the
+    connected components of match-labelled edges.
     """
+    graph = _as_networkx(graph)
     labels: dict[tuple[int, int], bool] = {}
     for u, v, data in graph.edges(data=True):
         edge = (min(u, v), max(u, v))
@@ -157,7 +242,7 @@ def global_edge_consistency_gain(
 
     for _ in range(max_iterations):
         best_edge, best_gain = None, 0
-        for edge in labels:
+        for edge in sorted(labels):
             gain = flip_gain(edge)
             if gain > best_gain:
                 best_edge, best_gain = edge, gain
@@ -169,3 +254,391 @@ def global_edge_consistency_gain(
     matched.add_nodes_from(graph.nodes)
     matched.add_edges_from(edge for edge, label in labels.items() if label)
     return [set(component) for component in nx.connected_components(matched)]
+
+
+# ======================================================================
+# Compiled kernels (CSR / bitsets / sparse matmul)
+# ======================================================================
+def _labels_to_clusters(labels: np.ndarray) -> list[set[int]]:
+    """Group node indices by component label into cluster sets."""
+    clusters: dict[int, set[int]] = {}
+    for node, label in enumerate(labels.tolist()):
+        members = clusters.get(label)
+        if members is None:
+            clusters[label] = {node}
+        else:
+            members.add(node)
+    return list(clusters.values())
+
+
+def _iter_bits(mask: int):
+    """Set bit positions of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def connected_components_clusters_compiled(
+    compiled: CompiledUnipartiteGraph, threshold: float
+) -> list[set[int]]:
+    """Compiled CC: one cached ``csgraph.connected_components`` call."""
+    selection = compiled.select(threshold, inclusive=True)
+    return _labels_to_clusters(selection.component_labels())
+
+
+def _canonical_max_clique_bits(
+    adjacency: list[int], candidates: int
+) -> list[int]:
+    """The canonical maximum clique inside ``candidates`` (a bitset).
+
+    Bron-Kerbosch with pivoting over Python-int bitsets: candidate
+    filtering is one ``&`` per recursion step regardless of degree.
+    Among the enumerated maximal cliques the largest wins, with size
+    ties broken by the lexicographically smallest sorted vertex list —
+    the same rule as :func:`_canonical_max_clique_nx`.  The
+    size-bound prune is strict (``<``), so equal-size cliques are
+    still visited for the lexicographic comparison.
+    """
+    best_size = 0
+    best: list[int] | None = None
+
+    def expand(chosen: list[int], p: int, x: int) -> None:
+        nonlocal best_size, best
+        if p == 0:
+            if x == 0:  # maximal: compare under (size, lex) canon
+                size = len(chosen)
+                candidate = sorted(chosen)
+                if size > best_size or (
+                    size == best_size
+                    and best is not None
+                    and candidate < best
+                ):
+                    best_size, best = size, candidate
+            return
+        p_count = p.bit_count()
+        if len(chosen) + p_count < best_size:
+            return
+        # Pivot from P (a valid Bron-Kerbosch pivot choice), stopping
+        # early once no node can beat the best degree seen.
+        pivot, pivot_degree = -1, -1
+        scan = p
+        while scan:
+            low = scan & -scan
+            node = low.bit_length() - 1
+            scan ^= low
+            degree = (p & adjacency[node]).bit_count()
+            if degree > pivot_degree:
+                pivot, pivot_degree = node, degree
+                if degree >= p_count - 1:
+                    break
+        branch = p & ~adjacency[pivot]
+        while branch:
+            low = branch & -branch
+            node = low.bit_length() - 1
+            branch ^= low
+            chosen.append(node)
+            expand(chosen, p & adjacency[node], x & adjacency[node])
+            chosen.pop()
+            p ^= low
+            x |= low
+
+    expand([], candidates, 0)
+    return best or []
+
+
+def _component_masks(selection) -> list[int]:
+    """Bitset per connected component of the selection, by min node."""
+    labels = selection.component_labels()
+    masks: dict[int, int] = {}
+    for node, label in enumerate(labels.tolist()):
+        masks[label] = masks.get(label, 0) | (1 << node)
+    return [masks[label] for label in sorted(masks, key=lambda l: masks[l] & -masks[l])]
+
+
+def _clique_removal_compiled(
+    compiled: CompiledUnipartiteGraph,
+    threshold: float,
+    attach_fraction: float | None,
+) -> list[set[int]]:
+    """Shared MCC/EMCC driver: per-component canonical clique removal.
+
+    Clusters removed from one component never touch another, so the
+    global greedy loop of the legacy bodies decomposes exactly into
+    independent per-component loops — same partition, much smaller
+    clique searches.
+    """
+    selection = compiled.select(threshold, inclusive=True)
+    if selection.count == 0:
+        return [{node} for node in range(compiled.n_nodes)]
+    adjacency = selection.adjacency_bitsets()
+    clusters: list[set[int]] = []
+    for component in _component_masks(selection):
+        alive = component
+        while True:
+            clique = _canonical_max_clique_bits(adjacency, alive)
+            if len(clique) < 2:
+                break
+            cluster_mask = 0
+            for node in clique:
+                cluster_mask |= 1 << node
+            if attach_fraction is not None:
+                required = max(
+                    1, int(round(attach_fraction * len(clique)))
+                )
+                for node in _iter_bits(alive & ~cluster_mask):
+                    if (
+                        adjacency[node] & cluster_mask
+                    ).bit_count() >= required:
+                        cluster_mask |= 1 << node
+            clusters.append(set(_iter_bits(cluster_mask)))
+            alive &= ~cluster_mask
+        clusters.extend({node} for node in _iter_bits(alive))
+    return clusters
+
+
+def maximum_clique_clustering_compiled(
+    compiled: CompiledUnipartiteGraph, threshold: float
+) -> list[set[int]]:
+    """Compiled MCC: bitset clique search per connected component."""
+    return _clique_removal_compiled(compiled, threshold, None)
+
+
+def extended_maximum_clique_clustering_compiled(
+    compiled: CompiledUnipartiteGraph,
+    threshold: float,
+    attachment_fraction: float = 0.5,
+) -> list[set[int]]:
+    """Compiled EMCC: bitset clique search plus bitset attachment."""
+    if not 0.0 < attachment_fraction <= 1.0:
+        raise ValueError("attachment_fraction must be in (0, 1]")
+    return _clique_removal_compiled(compiled, threshold, attachment_fraction)
+
+
+def _gecg_base(compiled: CompiledUnipartiteGraph):
+    """Threshold-independent GECG state, cached per compiled graph.
+
+    Holds the canonical ascending ``(u, v)`` edge order, the weights
+    in that order, and the **triangle incidence arrays**: every
+    triangle ``a < b < w`` of the graph (enumerated once, from its
+    lowest edge ``(a, b)`` and common neighbours ``w > b``) as three
+    parallel edge-index arrays.  A triangle touches three gain
+    entries, so the incidence is stored pre-concatenated as
+    ``(edge, other1, other2)`` triples — one ``bincount`` per label
+    predicate scores every edge of every triangle per iteration.
+    """
+    base = compiled.kernel_cache.get("gecg_base")
+    if base is None:
+        graph = compiled.source
+        order = np.lexsort((graph.v, graph.u))
+        edge_u = graph.u[order]
+        edge_v = graph.v[order]
+        u_list, v_list = edge_u.tolist(), edge_v.tolist()
+        edge_index = {
+            pair: position
+            for position, pair in enumerate(zip(u_list, v_list))
+        }
+        neighbour_sets: list[set[int]] = [
+            set() for _ in range(compiled.n_nodes)
+        ]
+        for a, b in zip(u_list, v_list):
+            neighbour_sets[a].add(b)
+            neighbour_sets[b].add(a)
+        tri_e1: list[int] = []
+        tri_e2: list[int] = []
+        tri_e3: list[int] = []
+        for position, (a, b) in enumerate(zip(u_list, v_list)):
+            for w in neighbour_sets[a] & neighbour_sets[b]:
+                if w > b:  # a < b < w: each triangle exactly once
+                    tri_e1.append(position)
+                    tri_e2.append(edge_index[(a, w)])
+                    tri_e3.append(edge_index[(b, w)])
+        e1 = np.asarray(tri_e1, dtype=np.int64)
+        e2 = np.asarray(tri_e2, dtype=np.int64)
+        e3 = np.asarray(tri_e3, dtype=np.int64)
+        # Every (edge, its two triangle partners) incidence, flattened.
+        edges_at = np.concatenate([e1, e2, e3])
+        other_a = np.concatenate([e2, e1, e1])
+        other_b = np.concatenate([e3, e3, e2])
+        base = (edge_u, edge_v, graph.weight[order], edges_at, other_a, other_b)
+        compiled.kernel_cache["gecg_base"] = base
+    return base
+
+
+def global_edge_consistency_gain_compiled(
+    compiled: CompiledUnipartiteGraph,
+    threshold: float,
+    max_iterations: int = 100,
+) -> list[set[int]]:
+    """Compiled GECG: vectorized triangle-consistency gain.
+
+    The triangles are enumerated once per graph (cached across the
+    whole threshold sweep); each iteration then scores *every* edge's
+    flip gain with two ``bincount`` calls over the triangle incidence
+    — ``#`` of incident triangles whose other two edges are both
+    matched versus both unmatched — instead of a Python loop over
+    common-neighbour sets.  The first edge attaining the maximum
+    positive gain in canonical ascending ``(u, v)`` order flips
+    (``np.argmax`` returns exactly that edge, matching the legacy
+    iteration order); clusters are the ``csgraph`` components of the
+    match-labelled edges.
+    """
+    n = compiled.n_nodes
+    m = compiled.n_edges
+    if m == 0:
+        return [{node} for node in range(n)]
+    edge_u, edge_v, weights, edges_at, other_a, other_b = _gecg_base(compiled)
+    labels = selection_mask(weights, threshold, inclusive=True).copy()
+
+    for _ in range(max_iterations):
+        la = labels[other_a]
+        lb = labels[other_b]
+        both_matched = np.bincount(
+            edges_at, weights=(la & lb).astype(np.float64), minlength=m
+        )
+        both_unmatched = np.bincount(
+            edges_at, weights=(~la & ~lb).astype(np.float64), minlength=m
+        )
+        gain = np.where(
+            labels,
+            both_unmatched - both_matched,
+            both_matched - both_unmatched,
+        )
+        if gain.max() <= 0:
+            break
+        flip = int(np.argmax(gain))
+        labels[flip] = not labels[flip]
+
+    if not labels.any():
+        return [{node} for node in range(n)]
+    from scipy import sparse
+    from scipy.sparse import csgraph
+
+    matched_graph = sparse.csr_matrix(
+        (
+            np.ones(int(labels.sum()) * 2),
+            (
+                np.concatenate([edge_u[labels], edge_v[labels]]),
+                np.concatenate([edge_v[labels], edge_u[labels]]),
+            ),
+        ),
+        shape=(n, n),
+    )
+    _, component = csgraph.connected_components(matched_graph, directed=False)
+    return _labels_to_clusters(component.astype(np.int64))
+
+
+# ======================================================================
+# Public entry points (thin wrappers; compile implicitly)
+# ======================================================================
+def connected_components_clusters(
+    graph, threshold: float
+) -> list[set[int]]:
+    """Transitive closure of the pruned graph (clusters of any size)."""
+    return connected_components_clusters_compiled(
+        _as_unipartite(graph).compiled(), threshold
+    )
+
+
+def maximum_clique_clustering(graph, threshold: float) -> list[set[int]]:
+    """MCC: iteratively remove the canonical maximum clique."""
+    return maximum_clique_clustering_compiled(
+        _as_unipartite(graph).compiled(), threshold
+    )
+
+
+def extended_maximum_clique_clustering(
+    graph,
+    threshold: float,
+    attachment_fraction: float = 0.5,
+) -> list[set[int]]:
+    """EMCC: remove canonical maximal cliques, then enlarge them."""
+    if not 0.0 < attachment_fraction <= 1.0:
+        raise ValueError("attachment_fraction must be in (0, 1]")
+    return extended_maximum_clique_clustering_compiled(
+        _as_unipartite(graph).compiled(), threshold, attachment_fraction
+    )
+
+
+def global_edge_consistency_gain(
+    graph,
+    threshold: float,
+    max_iterations: int = 100,
+) -> list[set[int]]:
+    """GECG: flip edge labels to maximize triangle consistency."""
+    return global_edge_consistency_gain_compiled(
+        _as_unipartite(graph).compiled(), threshold, max_iterations
+    )
+
+
+# ======================================================================
+# Clusterer registry (the dirty counterpart of matching.registry)
+# ======================================================================
+#: The four Dirty-ER clustering algorithms, in evaluation order.
+DIRTY_ALGORITHM_CODES: tuple[str, ...] = ("CC", "MCC", "EMCC", "GECG")
+
+
+class DirtyClusterer:
+    """One Dirty-ER clustering algorithm with its parameters.
+
+    The clustering counterpart of :class:`repro.matching.base.Matcher`:
+    ``cluster`` is the thin public entry point (compiles implicitly),
+    ``cluster_compiled`` is sweep-native, and ``cluster_legacy`` runs
+    the frozen networkx reference body.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        attachment_fraction: float = 0.5,
+        max_iterations: int = 100,
+    ) -> None:
+        if code not in DIRTY_ALGORITHM_CODES:
+            raise ValueError(
+                f"unknown dirty-ER algorithm {code!r}; expected one of "
+                f"{DIRTY_ALGORITHM_CODES}"
+            )
+        self.code = code
+        self.attachment_fraction = attachment_fraction
+        self.max_iterations = max_iterations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DirtyClusterer({self.code})"
+
+    def cluster(self, graph, threshold: float) -> list[set[int]]:
+        return self.cluster_compiled(
+            _as_unipartite(graph).compiled(), threshold
+        )
+
+    def cluster_compiled(
+        self, compiled: CompiledUnipartiteGraph, threshold: float
+    ) -> list[set[int]]:
+        if self.code == "CC":
+            return connected_components_clusters_compiled(compiled, threshold)
+        if self.code == "MCC":
+            return maximum_clique_clustering_compiled(compiled, threshold)
+        if self.code == "EMCC":
+            return extended_maximum_clique_clustering_compiled(
+                compiled, threshold, self.attachment_fraction
+            )
+        return global_edge_consistency_gain_compiled(
+            compiled, threshold, self.max_iterations
+        )
+
+    def cluster_legacy(self, graph, threshold: float) -> list[set[int]]:
+        if self.code == "CC":
+            return connected_components_clusters_legacy(graph, threshold)
+        if self.code == "MCC":
+            return maximum_clique_clustering_legacy(graph, threshold)
+        if self.code == "EMCC":
+            return extended_maximum_clique_clustering_legacy(
+                graph, threshold, self.attachment_fraction
+            )
+        return global_edge_consistency_gain_legacy(
+            graph, threshold, self.max_iterations
+        )
+
+
+def create_clusterer(code: str, **params) -> DirtyClusterer:
+    """Instantiate a clusterer by algorithm code (``CC`` .. ``GECG``)."""
+    return DirtyClusterer(code.upper(), **params)

@@ -1,4 +1,4 @@
-"""Bipartite similarity graph substrate.
+"""Similarity graph substrate (bipartite and unipartite).
 
 Every experiment in the paper consumes a *bipartite similarity graph*
 ``G = (V1, V2, E)`` whose edges carry weights in ``[0, 1]``.  This package
@@ -14,6 +14,12 @@ permutation, CSR adjacency for both sides and binary-searchable
 threshold prefixes that every matcher kernel shares.  The strict-vs-
 inclusive threshold convention lives in one place,
 :mod:`repro.graph.selection`.
+
+The Dirty-ER extension consumes the *unipartite* counterpart
+(:class:`UnipartiteGraph` / :class:`CompiledUnipartiteGraph`,
+:mod:`repro.graph.unipartite`): one collection, canonical ``u < v``
+edges, symmetric CSR, and cached inclusive threshold selections for
+the clustering algorithms of :mod:`repro.extensions.dirty_er`.
 """
 
 from repro.graph.bipartite import SimilarityGraph
@@ -22,9 +28,19 @@ from repro.graph.examples import figure1_graph
 from repro.graph.normalize import min_max_normalize
 from repro.graph.selection import prefix_length, selection_mask
 from repro.graph.stats import GraphStats, graph_stats
+from repro.graph.unipartite import (
+    CompiledUnipartiteGraph,
+    UniEdgeSelection,
+    UnipartiteGraph,
+    matrix_to_unipartite_graph,
+)
 
 __all__ = [
     "SimilarityGraph",
+    "UnipartiteGraph",
+    "CompiledUnipartiteGraph",
+    "UniEdgeSelection",
+    "matrix_to_unipartite_graph",
     "CompiledGraph",
     "EdgeSelection",
     "compile_graph",

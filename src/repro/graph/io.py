@@ -14,10 +14,17 @@ from pathlib import Path
 import numpy as np
 
 from repro.graph.bipartite import SimilarityGraph
+from repro.graph.unipartite import UnipartiteGraph
 
-__all__ = ["save_graph", "load_graph"]
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_unipartite_graph",
+    "load_unipartite_graph",
+]
 
 _FORMAT_VERSION = 1
+_UNIPARTITE_FORMAT_VERSION = 1
 
 
 def save_graph(graph: SimilarityGraph, path: str | Path) -> None:
@@ -55,6 +62,59 @@ def load_graph(path: str | Path) -> SimilarityGraph:
             header["n_right"],
             bundle["left"],
             bundle["right"],
+            bundle["weight"],
+            name=header.get("name", ""),
+            validate=False,
+        )
+        graph.metadata = dict(header.get("metadata", {}))
+    return graph
+
+
+def save_unipartite_graph(
+    graph: UnipartiteGraph, path: str | Path
+) -> None:
+    """Write a Dirty-ER graph as a compressed ``.npz`` bundle.
+
+    Same layout as :func:`save_graph` with a distinct ``kind`` marker,
+    so the two formats can never be confused when loading.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": _UNIPARTITE_FORMAT_VERSION,
+        "kind": "unipartite",
+        "n_nodes": graph.n_nodes,
+        "name": graph.name,
+        "metadata": graph.metadata,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        u=graph.u,
+        v=graph.v,
+        weight=graph.weight,
+    )
+
+
+def load_unipartite_graph(path: str | Path) -> UnipartiteGraph:
+    """Load a graph previously written by :func:`save_unipartite_graph`."""
+    with np.load(Path(path), allow_pickle=False) as bundle:
+        header = json.loads(bytes(bundle["header"]).decode("utf-8"))
+        if (
+            header.get("kind") != "unipartite"
+            or header.get("version") != _UNIPARTITE_FORMAT_VERSION
+        ):
+            raise ValueError(
+                "not a supported unipartite graph file: "
+                f"kind={header.get('kind')!r} "
+                f"version={header.get('version')!r}"
+            )
+        graph = UnipartiteGraph(
+            header["n_nodes"],
+            bundle["u"],
+            bundle["v"],
             bundle["weight"],
             name=header.get("name", ""),
             validate=False,

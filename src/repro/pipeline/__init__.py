@@ -37,9 +37,11 @@ from repro.pipeline.similarity_functions import (
     enumerate_functions,
 )
 from repro.pipeline.workbench import (
+    DirtyGraphRecord,
     GraphCorpusConfig,
     GraphRecord,
     generate_corpus,
+    generate_dirty_corpus,
 )
 
 __all__ = [
@@ -58,6 +60,8 @@ __all__ = [
     "GraphCorpusConfig",
     "GraphRecord",
     "generate_corpus",
+    "DirtyGraphRecord",
+    "generate_dirty_corpus",
     "UniquePlan",
     "kernel_threads",
 ]

@@ -44,6 +44,18 @@ mtime, refreshed on every load) until the store fits a byte budget;
 a store constructed with ``size_budget`` enforces it after every
 write.  :meth:`ArtifactStore.purge` empties the store.
 
+Read-only tier
+--------------
+A store constructed with ``read_tier=PATH`` layers a **shared
+read-only tier** under the writable root: a load that misses locally
+is retried against the tier, and a tier hit **never writes upward** —
+no recency ``utime``, no stale-entry deletion, no copy into the local
+root (the in-memory :class:`~repro.pipeline.engine.ArtifactCache`
+absorbs repeat reads within a run).  A stale or corrupt tier entry is
+simply a miss: the tier may live on media this process cannot (and
+must not) modify, e.g. a CI cache directory seeded by earlier runs.
+All writes, gc and purge operate on the local root only.
+
 Serialization is strictly ``npz``/JSON — no pickles.  Only artifact
 kinds with a registered codec persist (see :data:`STORE_KINDS`); all
 of them round-trip **bit-identically**, which is what keeps a corpus
@@ -365,13 +377,25 @@ class ArtifactStore:
     size_budget:
         Optional byte budget (int or ``"500K"``/``"64M"``/``"2G"``)
         enforced by LRU eviction after every committed write.
+    read_tier:
+        Optional shared read-only tier (a directory or another
+        :class:`ArtifactStore`) consulted on local misses.  Tier hits
+        never modify the tier or the local root; writes always go to
+        ``root``.
     """
 
     def __init__(
-        self, root: str | Path, size_budget: str | int | None = None
+        self,
+        root: str | Path,
+        size_budget: str | int | None = None,
+        read_tier: "str | Path | ArtifactStore | None" = None,
     ) -> None:
         self.root = Path(root)
         self.size_budget = parse_size_budget(size_budget)
+        if read_tier is None or isinstance(read_tier, ArtifactStore):
+            self.read_tier = read_tier
+        else:
+            self.read_tier = ArtifactStore(read_tier)
         # Running byte estimate for the post-write budget trigger;
         # None = unknown (resolved by one directory scan on demand).
         self._tracked_bytes: int | None = None
@@ -397,15 +421,30 @@ class ArtifactStore:
     def load(self, dataset_key: tuple, cache_key: tuple):
         """The stored artifact, or ``None`` on miss.
 
-        A corrupted payload or a version-stamp mismatch deletes the
-        entry and reports a miss — the caller rebuilds and the rebuild
-        overwrites the dead entry.
+        In the local root, a corrupted payload or a version-stamp
+        mismatch deletes the entry and reports a miss — the caller
+        rebuilds and the rebuild overwrites the dead entry.  A local
+        miss then consults the read-only tier (when configured), where
+        the same conditions are a plain miss: the tier is never
+        touched, in any way, by a load.
         """
         kind = cache_key[0]
         codec = STORE_KINDS.get(kind)
         if codec is None:
             return None
         key = self.entry_key(dataset_key, cache_key)
+        value = self._load_entry(codec, key, mutate=True)
+        if value is None and self.read_tier is not None:
+            value = self.read_tier._load_entry(codec, key, mutate=False)
+        return value
+
+    def _load_entry(self, codec, key: str, mutate: bool):
+        """One directory's half of :meth:`load`.
+
+        ``mutate=False`` is the read-only-tier discipline: no recency
+        ``utime``, and stale or corrupt entries are left in place (the
+        directory may not be writable, and it is not ours to clean).
+        """
         payload_path, manifest_path = self._paths(key)
         try:
             manifest = json.loads(manifest_path.read_text())
@@ -415,25 +454,29 @@ class ArtifactStore:
             # Manifest writes are atomic, so a present-but-unparseable
             # manifest is corruption (not an in-flight commit): a
             # wedged entry that save() would refuse forever.
-            self._remove(key)
+            if mutate:
+                self._remove(key)
             return None
         if (
             manifest.get("schema_version") != SCHEMA_VERSION
             or manifest.get("repro_version") != _repro_version()
         ):
-            self._remove(key)
+            if mutate:
+                self._remove(key)
             return None
         try:
             with np.load(payload_path, allow_pickle=False) as bundle:
                 value = codec.decode(bundle)
         except Exception:
-            self._remove(key)
+            if mutate:
+                self._remove(key)
             return None
-        now = time.time()
-        try:
-            os.utime(manifest_path, (now, now))  # LRU recency
-        except OSError:
-            pass
+        if mutate:
+            now = time.time()
+            try:
+                os.utime(manifest_path, (now, now))  # LRU recency
+            except OSError:
+                pass
         return value
 
     # ------------------------------------------------------------ save

@@ -36,6 +36,14 @@ clean the experimental results from noise"); the corresponding filters
 live in :mod:`repro.evaluation.filtering` and are applied at analysis
 time, with the zero-evidence filter (all matching pairs at weight 0)
 applied already at generation time here.
+
+The **dirty-ER corpus mode** (:func:`generate_dirty_corpus`) runs the
+same taxonomy one workload over: each dataset's union collection is
+joined with itself through the ordinary engine/store stack (self-join
+artifacts carry a ``+self`` dataset identity) and every matrix's
+strict upper triangle becomes a
+:class:`~repro.graph.unipartite.UnipartiteGraph` for the clustering
+algorithms of :mod:`repro.extensions.dirty_er`.
 """
 
 from __future__ import annotations
@@ -55,8 +63,18 @@ import numpy as np
 
 from repro.datasets.catalog import DATASET_CODES, dataset_spec
 from repro.datasets.generator import CleanCleanDataset, generate_dataset
+from repro.datasets.profile import EntityCollection
 from repro.graph.bipartite import SimilarityGraph
-from repro.graph.io import load_graph, save_graph
+from repro.graph.io import (
+    load_graph,
+    load_unipartite_graph,
+    save_graph,
+    save_unipartite_graph,
+)
+from repro.graph.unipartite import (
+    UnipartiteGraph,
+    matrix_to_unipartite_graph,
+)
 from repro.pipeline.engine import SimilarityEngine, SpecGroup, group_specs
 from repro.pipeline.graph_builder import matrix_to_graph
 from repro.pipeline.similarity_functions import (
@@ -65,10 +83,17 @@ from repro.pipeline.similarity_functions import (
 )
 from repro.pipeline.store import ArtifactStore, dataset_store_key
 
-__all__ = ["GraphCorpusConfig", "GraphRecord", "generate_corpus"]
+__all__ = [
+    "GraphCorpusConfig",
+    "GraphRecord",
+    "DirtyGraphRecord",
+    "generate_corpus",
+    "generate_dirty_corpus",
+]
 
 _MANIFEST_NAME = "manifest.json"
 _MANIFEST_VERSION = 2
+_DIRTY_MANIFEST_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -80,11 +105,13 @@ class GraphCorpusConfig:
     randomness.  ``schema_based_measures`` / ``ngram_models`` etc. can
     shrink the taxonomy for quick runs (``None`` = the full paper
     configuration).  ``workers`` parallelizes generation over a
-    process pool and ``artifact_store`` points generation at a
-    persistent cross-run :class:`~repro.pipeline.store.ArtifactStore`;
-    neither affects the produced corpus or the cache key — only
-    wall-clock — and both are therefore excluded from
-    :meth:`cache_key`.
+    process pool, ``artifact_store`` points generation at a
+    persistent cross-run :class:`~repro.pipeline.store.ArtifactStore`
+    and ``store_read_tier`` layers a shared read-only store directory
+    under it (tier hits never write anywhere — see
+    :mod:`repro.pipeline.store`); none of the three affects the
+    produced corpus or the cache key — only wall-clock — and all are
+    therefore excluded from :meth:`cache_key`.
     """
 
     datasets: tuple[str, ...] = DATASET_CODES
@@ -101,6 +128,7 @@ class GraphCorpusConfig:
     max_attributes: int | None = None
     workers: int = 1
     artifact_store: str | None = None
+    store_read_tier: str | None = None
 
     def cache_key(self) -> str:
         """A stable hash of every generation-relevant knob."""
@@ -157,22 +185,54 @@ class GraphRecord:
         return self.graph.n_edges
 
 
+@dataclass
+class DirtyGraphRecord:
+    """One dirty-ER corpus entry: a self-join graph plus provenance.
+
+    The graph is unipartite over the *union* collection (left profiles
+    first, right profiles shifted by ``n_left``); ``ground_truth``
+    holds the canonical ``(u, v)`` duplicate pairs in merged ids.
+    Timing fields mirror :class:`GraphRecord`.
+    """
+
+    graph: UnipartiteGraph
+    dataset: str
+    family: str
+    function: str
+    category: str  # BLC / OSD / SCR
+    ground_truth: set[tuple[int, int]]
+    build_seconds: float = 0.0
+    artifact_seconds: float = 0.0
+    matrix_seconds: float = 0.0
+    graph_seconds: float = 0.0
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+
 def generate_corpus(
     config: GraphCorpusConfig,
     cache_dir: str | Path | None = None,
     progress: bool = False,
     workers: int | None = None,
     artifact_store: str | Path | None = None,
+    store_read_tier: str | Path | None = None,
 ) -> list[GraphRecord]:
     """Generate (or load from cache) the graph corpus for ``config``.
 
-    ``workers`` overrides ``config.workers`` and ``artifact_store``
-    overrides ``config.artifact_store``; any combination produces the
-    same corpus as a serial, store-less run.
+    ``workers`` overrides ``config.workers``, ``artifact_store``
+    overrides ``config.artifact_store`` and ``store_read_tier``
+    overrides ``config.store_read_tier``; any combination produces
+    the same corpus as a serial, store-less run.
     """
     if artifact_store is not None:
         config = dataclasses.replace(
             config, artifact_store=str(artifact_store)
+        )
+    if store_read_tier is not None:
+        config = dataclasses.replace(
+            config, store_read_tier=str(store_read_tier)
         )
     if cache_dir is not None:
         cache_dir = Path(cache_dir) / config.cache_key()
@@ -230,7 +290,9 @@ def _make_engine(
     """An engine for one dataset, store-backed when configured."""
     store = None
     if config.artifact_store is not None:
-        store = ArtifactStore(config.artifact_store)
+        store = ArtifactStore(
+            config.artifact_store, read_tier=config.store_read_tier
+        )
     return SimilarityEngine(
         _generate(config, code),
         threads=threads,
@@ -449,6 +511,272 @@ def _load_cached(cache_dir: Path) -> list[GraphRecord]:
         graph = load_graph(cache_dir / entry["file"])
         records.append(
             GraphRecord(
+                graph=graph,
+                dataset=entry["dataset"],
+                family=entry["family"],
+                function=entry["function"],
+                category=entry["category"],
+                ground_truth=shared_truth[entry["dataset"]],
+                build_seconds=entry["build_seconds"],
+                artifact_seconds=entry.get("artifact_seconds", 0.0),
+                matrix_seconds=entry.get("matrix_seconds", 0.0),
+                graph_seconds=entry.get("graph_seconds", 0.0),
+            )
+        )
+    return records
+
+
+# ======================================================================
+# Dirty-ER corpus mode: self-join similarity graphs
+# ======================================================================
+def _self_join_dataset(dataset: CleanCleanDataset) -> CleanCleanDataset:
+    """The dirty-ER view of a Clean-Clean dataset: the union collection
+    joined with itself.
+
+    Both "sides" are the same union collection (left profiles first,
+    right profiles shifted by ``n_left``), so the similarity engine —
+    artifact cache, kernel engine, persistent store and all — computes
+    the full self-join matrix without knowing it is a self join.  The
+    merged ground truth is the original cross-collection duplicate set
+    in merged ids (always canonical: ``i < n_left <= n_left + j``).
+    """
+    import dataclasses as _dataclasses
+
+    n_left = len(dataset.left)
+    union = EntityCollection(
+        f"{dataset.code}-union",
+        list(dataset.left.profiles) + list(dataset.right.profiles),
+    )
+    truth = {(i, n_left + j) for i, j in dataset.ground_truth}
+    spec = _dataclasses.replace(
+        dataset.spec,
+        code=_self_join_code(dataset.code),
+        n_left=len(union),
+        n_right=len(union),
+        n_duplicates=len(truth),
+    )
+    return CleanCleanDataset(
+        spec=spec, left=union, right=union, ground_truth=truth
+    )
+
+
+def _self_join_code(code: str) -> str:
+    """Store/dataset identity of the self-join view — distinct from the
+    bipartite dataset, so their artifacts never share a store key."""
+    return f"{code}+self"
+
+
+def _make_dirty_engine(
+    config: GraphCorpusConfig, code: str, threads: int = 1
+) -> SimilarityEngine:
+    """An engine over the self-join dataset, store-backed when configured."""
+    store = None
+    if config.artifact_store is not None:
+        store = ArtifactStore(
+            config.artifact_store, read_tier=config.store_read_tier
+        )
+    return SimilarityEngine(
+        _self_join_dataset(_generate(config, code)),
+        threads=threads,
+        store=store,
+        dataset_key=dataset_store_key(
+            _self_join_code(code), config.scale, config.max_pairs, config.seed
+        ),
+    )
+
+
+def generate_dirty_corpus(
+    config: GraphCorpusConfig,
+    cache_dir: str | Path | None = None,
+    progress: bool = False,
+    workers: int | None = None,
+    artifact_store: str | Path | None = None,
+    store_read_tier: str | Path | None = None,
+) -> list[DirtyGraphRecord]:
+    """Generate (or load from cache) the dirty-ER self-join corpus.
+
+    Mirrors :func:`generate_corpus` one workload over: the same spec
+    taxonomy is evaluated on the *union* collection joined with
+    itself, and each matrix's strict upper triangle becomes a
+    :class:`~repro.graph.unipartite.UnipartiteGraph` for the
+    clustering algorithms of :mod:`repro.extensions.dirty_er`.
+    ``workers`` and ``artifact_store`` behave exactly as in
+    :func:`generate_corpus`: wall-clock only, never results.
+    """
+    if artifact_store is not None:
+        config = dataclasses.replace(
+            config, artifact_store=str(artifact_store)
+        )
+    if store_read_tier is not None:
+        config = dataclasses.replace(
+            config, store_read_tier=str(store_read_tier)
+        )
+    if cache_dir is not None:
+        cache_dir = Path(cache_dir) / f"dirty_{config.cache_key()}"
+        manifest_path = cache_dir / _MANIFEST_NAME
+        if manifest_path.exists():
+            return _load_dirty_cached(cache_dir)
+
+    n_workers = config.workers if workers is None else workers
+    tasks = _corpus_tasks(config)
+    if n_workers > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(_dirty_group_worker, (config, code, group))
+                for code, group in tasks
+            ]
+            if progress:
+                for future in as_completed(futures):
+                    for record in future.result():
+                        _print_progress(record)
+            chunks = [future.result() for future in futures]
+        records = [record for chunk in chunks for record in chunk]
+    else:
+        records = []
+        engine: SimilarityEngine | None = None
+        current_code: str | None = None
+        for code, group in tasks:
+            if code != current_code:
+                engine = _make_dirty_engine(config, code, threads=n_workers)
+                current_code = code
+            chunk = _dirty_group_records(engine, group, code)
+            if progress:
+                for record in chunk:
+                    _print_progress(record)
+            records.extend(chunk)
+
+    if cache_dir is not None:
+        _store_dirty_cache(cache_dir, records, workers=n_workers)
+    return records
+
+
+def _dirty_group_worker(
+    task: tuple[GraphCorpusConfig, str, SpecGroup],
+) -> list[DirtyGraphRecord]:
+    config, code, group = task
+    key = (config.cache_key(), _self_join_code(code))
+    engine = _WORKER_STATE.get(key)
+    if engine is None:
+        engine = _make_dirty_engine(config, code)
+        _WORKER_STATE.clear()
+        _WORKER_STATE[key] = engine
+    return _dirty_group_records(engine, group, code)
+
+
+def _dirty_group_records(
+    engine: SimilarityEngine,
+    group: SpecGroup,
+    base_code: str,
+) -> list[DirtyGraphRecord]:
+    from repro.datasets.catalog import CATEGORY_BY_DATASET
+
+    dataset = engine.dataset
+    records: list[DirtyGraphRecord] = []
+    for spec in group.specs:
+        start = time.perf_counter()
+        matrix, artifact_seconds, matrix_seconds = engine.compute_timed(spec)
+        graph_start = time.perf_counter()
+        graph = matrix_to_unipartite_graph(
+            matrix,
+            name=f"{dataset.code}:{spec.name}",
+            metadata={
+                "dataset": dataset.code,
+                "family": spec.family,
+                "function": spec.name,
+            },
+        )
+        graph_seconds = time.perf_counter() - graph_start
+        elapsed = time.perf_counter() - start
+        if _all_dirty_matches_zero(graph, dataset.ground_truth):
+            continue
+        records.append(
+            DirtyGraphRecord(
+                graph=graph,
+                dataset=dataset.code,
+                family=spec.family,
+                function=spec.name,
+                category=CATEGORY_BY_DATASET[base_code],
+                ground_truth=dataset.ground_truth,
+                build_seconds=elapsed,
+                artifact_seconds=artifact_seconds,
+                matrix_seconds=matrix_seconds,
+                graph_seconds=graph_seconds,
+            )
+        )
+    return records
+
+
+def _all_dirty_matches_zero(
+    graph: UnipartiteGraph, ground_truth: set[tuple[int, int]]
+) -> bool:
+    """Dirty counterpart of :func:`_all_matches_zero` (merged-id pairs)."""
+    if not ground_truth or graph.n_edges == 0:
+        return True
+    truth = np.array(sorted(ground_truth), dtype=np.int64)
+    stride = np.int64(graph.n_nodes)
+    edge_keys = graph.u * stride + graph.v
+    truth_keys = truth[:, 0] * stride + truth[:, 1]
+    return not bool(np.isin(truth_keys, edge_keys).any())
+
+
+def _store_dirty_cache(
+    cache_dir: Path, records: list[DirtyGraphRecord], workers: int = 1
+) -> None:
+    """Persist the dirty corpus; same layout discipline as
+    :func:`_store_cache` (sharded graph writes, manifest last)."""
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    filenames = [f"graph_{index:04d}.npz" for index in range(len(records))]
+    if workers > 1 and len(records) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            writes = [
+                pool.submit(
+                    save_unipartite_graph, record.graph, cache_dir / filename
+                )
+                for record, filename in zip(records, filenames)
+            ]
+            for write in writes:
+                write.result()
+    else:
+        for record, filename in zip(records, filenames):
+            save_unipartite_graph(record.graph, cache_dir / filename)
+    ground_truth: dict[str, list] = {}
+    graphs = []
+    for record, filename in zip(records, filenames):
+        if record.dataset not in ground_truth:
+            ground_truth[record.dataset] = sorted(record.ground_truth)
+        graphs.append(
+            {
+                "file": filename,
+                "dataset": record.dataset,
+                "family": record.family,
+                "function": record.function,
+                "category": record.category,
+                "build_seconds": record.build_seconds,
+                "artifact_seconds": record.artifact_seconds,
+                "matrix_seconds": record.matrix_seconds,
+                "graph_seconds": record.graph_seconds,
+            }
+        )
+    manifest = {
+        "version": _DIRTY_MANIFEST_VERSION,
+        "kind": "dirty",
+        "ground_truth": ground_truth,
+        "graphs": graphs,
+    }
+    (cache_dir / _MANIFEST_NAME).write_text(json.dumps(manifest))
+
+
+def _load_dirty_cached(cache_dir: Path) -> list[DirtyGraphRecord]:
+    manifest = json.loads((cache_dir / _MANIFEST_NAME).read_text())
+    shared_truth = {
+        code: {tuple(pair) for pair in pairs}
+        for code, pairs in manifest["ground_truth"].items()
+    }
+    records = []
+    for entry in manifest["graphs"]:
+        graph = load_unipartite_graph(cache_dir / entry["file"])
+        records.append(
+            DirtyGraphRecord(
                 graph=graph,
                 dataset=entry["dataset"],
                 family=entry["family"],

@@ -185,3 +185,53 @@ class TestSweep:
         graph, truth = self._graph_and_truth()
         with pytest.raises(ValueError):
             threshold_sweep_best_of([], graph, truth)
+
+
+class TestClusterMetrics:
+    """Cluster-level scoring for the dirty-ER extension."""
+
+    def test_clusters_to_pairs_canonical(self):
+        from repro.evaluation.metrics import clusters_to_pairs
+
+        pairs = clusters_to_pairs([{3, 1, 2}, {5}, {7, 6}])
+        assert pairs == {(1, 2), (1, 3), (2, 3), (6, 7)}
+
+    def test_singletons_carry_no_weight(self):
+        from repro.evaluation.metrics import evaluate_clusters
+
+        scores = evaluate_clusters([{0}, {1}, {2}], {(0, 1)})
+        assert scores.precision == 0.0
+        assert scores.recall == 0.0
+        assert scores.output_pairs == 0
+
+    def test_evaluate_clusters_counts(self):
+        from repro.evaluation.metrics import evaluate_clusters
+
+        scores = evaluate_clusters(
+            [{0, 1, 2}, {3, 4}], {(0, 1), (3, 4), (8, 9)}
+        )
+        assert scores.output_pairs == 4  # 3 + 1 intra-cluster pairs
+        assert scores.true_positives == 2
+        assert scores.precision == pytest.approx(2 / 4)
+        assert scores.recall == pytest.approx(2 / 3)
+
+    def test_index_matches_scalar_path(self):
+        from repro.evaluation.metrics import (
+            GroundTruthIndex,
+            evaluate_clusters,
+        )
+
+        clusters = [{0, 1, 2}, {3, 4}, {5}, set(range(6, 15))]
+        truth = {(0, 1), (0, 2), (3, 4), (6, 7), (97, 99)}
+        index = GroundTruthIndex(truth)
+        assert index.score_clusters(clusters) == evaluate_clusters(
+            clusters, truth
+        )
+
+    def test_empty_clustering(self):
+        from repro.evaluation.metrics import GroundTruthIndex
+
+        index = GroundTruthIndex({(0, 1)})
+        scores = index.score_clusters([])
+        assert scores.f_measure == 0.0
+        assert scores.ground_truth_pairs == 1

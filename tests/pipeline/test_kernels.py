@@ -254,3 +254,79 @@ class TestEngineThreadInvariance:
             assert np.array_equal(
                 serial.compute(spec), threaded.compute(spec)
             ), spec.name
+
+
+class TestPairwiseMinSumThreading:
+    """The CSC column sweep threaded through the block scheduler."""
+
+    def _matrices(self, seed=11):
+        from scipy import sparse
+
+        rng = np.random.default_rng(seed)
+        left = sparse.random(
+            83, 47, density=0.18, random_state=rng, format="csr"
+        )
+        right = sparse.random(
+            61, 47, density=0.22, random_state=rng, format="csr"
+        )
+        return left, right
+
+    def _reference(self, left, right):
+        """The pre-engine single-pass column sweep, verbatim."""
+        result = np.zeros((left.shape[0], right.shape[0]))
+        left_csc, right_csc = left.tocsc(), right.tocsc()
+        for col in range(left.shape[1]):
+            a_start, a_end = left_csc.indptr[col], left_csc.indptr[col + 1]
+            if a_start == a_end:
+                continue
+            b_start, b_end = (
+                right_csc.indptr[col], right_csc.indptr[col + 1],
+            )
+            if b_start == b_end:
+                continue
+            result[
+                np.ix_(
+                    left_csc.indices[a_start:a_end],
+                    right_csc.indices[b_start:b_end],
+                )
+            ] += np.minimum.outer(
+                left_csc.data[a_start:a_end],
+                right_csc.data[b_start:b_end],
+            )
+        return result
+
+    def test_matches_single_pass_reference(self):
+        from repro.vectorspace.measures import pairwise_min_sum
+
+        left, right = self._matrices()
+        assert np.array_equal(
+            pairwise_min_sum(left, right), self._reference(left, right)
+        )
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 7])
+    def test_thread_invariance(self, threads):
+        from repro.vectorspace.measures import pairwise_min_sum
+
+        left, right = self._matrices()
+        reference = self._reference(left, right)
+        assert np.array_equal(
+            pairwise_min_sum(left, right, threads=threads), reference
+        )
+        with kernel_threads(threads):
+            assert np.array_equal(
+                pairwise_min_sum(left, right), reference
+            )
+
+    def test_generalized_jaccard_thread_invariant(self):
+        from repro.vectorspace import build_vector_models
+        from repro.vectorspace.measures import generalized_jaccard_matrix
+
+        texts_left = [f"alpha beta gamma {i % 7}" for i in range(40)]
+        texts_right = [f"beta delta {i % 5} gamma" for i in range(30)]
+        left, right = build_vector_models(
+            texts_left, texts_right, n=1, unit="token", weighting="tf"
+        )
+        serial = generalized_jaccard_matrix(left, right)
+        with kernel_threads(4):
+            threaded = generalized_jaccard_matrix(left, right)
+        assert np.array_equal(serial, threaded)

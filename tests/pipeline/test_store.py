@@ -610,3 +610,89 @@ class TestGcAndBudget:
         with warnings.catch_warnings():
             warnings.simplefilter("error")  # second failure: silent
             cache.graph_common_edges("token", 1)
+
+
+def _tier_snapshot(root):
+    """Full content+mtime fingerprint of a store directory."""
+    return {
+        path.name: (path.stat().st_mtime_ns, path.read_bytes())
+        for path in sorted(root.iterdir())
+    }
+
+
+class TestReadOnlyTier:
+    """The shared read-only tier: hits never write upward (or anywhere)."""
+
+    CACHE_KEY = ("graph_ratio", "token", 1)
+
+    def _seeded_tier(self, tmp_path):
+        tier_root = tmp_path / "tier"
+        ArtifactStore(tier_root).save(
+            DATASET_KEY, self.CACHE_KEY, np.arange(5.0)
+        )
+        return tier_root
+
+    def test_tier_hit_serves_local_miss(self, tmp_path):
+        tier_root = self._seeded_tier(tmp_path)
+        local = ArtifactStore(tmp_path / "local", read_tier=tier_root)
+        value = local.load(DATASET_KEY, self.CACHE_KEY)
+        assert np.array_equal(value, np.arange(5.0))
+
+    def test_tier_hit_never_writes_upward(self, tmp_path):
+        tier_root = self._seeded_tier(tmp_path)
+        before = _tier_snapshot(tier_root)
+        local_root = tmp_path / "local"
+        local = ArtifactStore(local_root, read_tier=tier_root)
+        for _ in range(3):
+            assert local.load(DATASET_KEY, self.CACHE_KEY) is not None
+        # No recency utime, no rewrite, no deletion in the tier ...
+        assert _tier_snapshot(tier_root) == before
+        # ... and no copy downward either: the local root stays empty
+        # (the in-memory ArtifactCache absorbs repeat reads).
+        assert not local_root.exists() or list(local_root.iterdir()) == []
+
+    def test_local_entry_shadows_the_tier(self, tmp_path):
+        tier_root = self._seeded_tier(tmp_path)
+        local = ArtifactStore(tmp_path / "local", read_tier=tier_root)
+        assert local.save(DATASET_KEY, self.CACHE_KEY, np.zeros(5)) is True
+        assert np.array_equal(
+            local.load(DATASET_KEY, self.CACHE_KEY), np.zeros(5)
+        )
+
+    def test_stale_tier_entry_is_a_miss_and_survives(self, tmp_path):
+        tier_root = self._seeded_tier(tmp_path)
+        manifest_path = next(tier_root.glob("*.json"))
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        before = _tier_snapshot(tier_root)
+        local = ArtifactStore(tmp_path / "local", read_tier=tier_root)
+        assert local.load(DATASET_KEY, self.CACHE_KEY) is None
+        assert _tier_snapshot(tier_root) == before
+
+    def test_corrupt_tier_payload_is_a_miss_and_survives(self, tmp_path):
+        tier_root = self._seeded_tier(tmp_path)
+        next(tier_root.glob("*.npz")).write_bytes(b"garbage")
+        before = _tier_snapshot(tier_root)
+        local = ArtifactStore(tmp_path / "local", read_tier=tier_root)
+        assert local.load(DATASET_KEY, self.CACHE_KEY) is None
+        assert _tier_snapshot(tier_root) == before
+
+    def test_corpus_from_tier_matches_storeless(self, tmp_path):
+        tier_root = tmp_path / "tier"
+        generate_corpus(CONFIG, artifact_store=tier_root)  # seed the tier
+        before = _tier_snapshot(tier_root)
+        storeless = generate_corpus(CONFIG)
+        layered = generate_corpus(
+            CONFIG,
+            artifact_store=tmp_path / "local",
+            store_read_tier=tier_root,
+        )
+        _assert_same_corpus(storeless, layered)
+        assert _tier_snapshot(tier_root) == before
+
+    def test_tier_does_not_change_cache_key(self):
+        config = dataclasses.replace(
+            CONFIG, artifact_store="/tmp/a", store_read_tier="/tmp/b"
+        )
+        assert config.cache_key() == CONFIG.cache_key()

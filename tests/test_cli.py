@@ -214,3 +214,90 @@ class TestStoreCommand:
         out = capsys.readouterr().out
         assert "corpus ready" in out
         assert "artifact store:" in out
+
+
+class TestDirtyErCommand:
+    def test_smoke_profile(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(
+            ["dirty-er", "--profile", "smoke", "--cache", str(tmp_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Dirty-ER clustering" in out
+        for code in ("CC", "MCC", "EMCC", "GECG"):
+            assert code in out
+
+    def test_single_algorithm(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        exit_code = main(
+            [
+                "dirty-er", "--profile", "smoke",
+                "--cache", str(tmp_path),
+                "--algorithm", "cc",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "CC" in out
+        assert "GECG" not in out
+
+    def test_rejects_unknown_algorithm(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "dirty-er", "--cache", str(tmp_path),
+                "--algorithm", "nope",
+            ]
+        )
+        assert exit_code == 2
+        assert "unknown dirty-ER algorithm" in capsys.readouterr().err
+
+
+class TestStoreReadTierFlag:
+    def test_pipeline_commands_accept_the_flag(self):
+        parser = build_parser()
+        for argv in (
+            ["corpus", "--artifact-store", "s", "--store-read-tier", "t"],
+            ["experiments", "--artifact-store", "s",
+             "--store-read-tier", "t"],
+            ["dirty-er", "--artifact-store", "s", "--store-read-tier", "t"],
+        ):
+            args = parser.parse_args(argv)
+            assert str(args.store_read_tier) == "t"
+
+    def test_tier_without_store_is_an_error(self, tmp_path, capsys):
+        with pytest.raises(SystemExit, match="artifact-store"):
+            main(
+                [
+                    "corpus", "--cache", str(tmp_path),
+                    "--store-read-tier", str(tmp_path / "tier"),
+                ]
+            )
+
+    def test_corpus_reads_through_the_tier(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        tier = tmp_path / "tier"
+        assert main(
+            [
+                "corpus", "--profile", "smoke",
+                "--cache", str(tmp_path / "c1"),
+                "--artifact-store", str(tier),
+            ]
+        ) == 0
+        tier_files = sorted(p.name for p in tier.iterdir())
+        assert main(
+            [
+                "corpus", "--profile", "smoke",
+                "--cache", str(tmp_path / "c2"),
+                "--artifact-store", str(tmp_path / "local"),
+                "--store-read-tier", str(tier),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "corpus ready" in out
+        # Tier untouched; local store stayed empty (every artifact hit).
+        assert sorted(p.name for p in tier.iterdir()) == tier_files
+        local = tmp_path / "local"
+        assert not local.exists() or list(local.iterdir()) == []
