@@ -33,8 +33,15 @@ Seven subcommands cover the library's main entry points:
     points corpus generation at (:mod:`repro.pipeline.store`).
 
 ``--workers`` and ``--artifact-store`` only change wall-clock, never
-results.  Install exposes the ``repro`` console script; the module
-also runs as ``python -m repro.cli``.
+results.  The long-running subcommands (``sweep``, ``experiments``,
+``corpus``, ``dirty-er``) execute on the fault-tolerant runner of
+:mod:`repro.pipeline.resilience` and journal completed work as it
+lands; after a Ctrl-C or crash, ``--resume`` skips everything already
+journaled and the final output is bit-identical to an uninterrupted
+run.  A KeyboardInterrupt exits with code 130 (journal already on
+disk); a permanent task failure prints the failed task keys and exits
+with code 1.  Install exposes the ``repro`` console script; the
+module also runs as ``python -m repro.cli``.
 
 The reference documentation in ``docs/CLI.md`` is drift-checked
 against :func:`build_parser` by ``tests/test_docs.py`` — keep the two
@@ -67,6 +74,17 @@ def _size_budget(text: str) -> int:
         return parse_size_budget(text)
     except ValueError as error:
         raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _add_resume_flag(parser) -> None:
+    """The ``--resume`` flag shared by the journaled subcommands."""
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "skip work already journaled by an interrupted run "
+            "(results are bit-identical to an uninterrupted run)"
+        ),
+    )
 
 
 def _add_store_flags(parser, store_help: str) -> None:
@@ -132,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
             "reads a prebuilt graph, so no artifacts are stored"
         ),
     )
+    _add_resume_flag(sweep)
 
     experiments = commands.add_parser(
         "experiments", help="run the cached full protocol"
@@ -152,6 +171,7 @@ def build_parser() -> argparse.ArgumentParser:
         "persistent cross-run artifact store for corpus generation "
         "(default: disabled)",
     )
+    _add_resume_flag(experiments)
 
     corpus = commands.add_parser(
         "corpus", help="generate the similarity-graph corpus"
@@ -174,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         "matrices and entity graphs are reused by every config "
         "sharing a dataset (default: disabled)",
     )
+    _add_resume_flag(corpus)
 
     dirty = commands.add_parser(
         "dirty-er",
@@ -203,6 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         "persistent cross-run artifact store for self-join corpus "
         "generation (default: disabled)",
     )
+    _add_resume_flag(dirty)
 
     store = commands.add_parser(
         "store", help="inspect or clean the persistent artifact store"
@@ -310,11 +332,12 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _sweep_one_code(
+def _sweep_one_cell(
     payload: tuple[SimilarityGraph, set[tuple[int, int]], str],
-):
+) -> dict:
     """One ``repro sweep`` cell (module-level so process pools can
-    pickle it); returns the sweep of one algorithm code."""
+    pickle it); returns ``{code: sweep}`` so the result shares the
+    sweep journal codec of the experiment runner."""
     from repro.evaluation.sweep import threshold_sweep
 
     graph, truth, code = payload
@@ -323,10 +346,31 @@ def _sweep_one_code(
         if code == "BAH"
         else create_matcher(code)
     )
-    return threshold_sweep(matcher, graph, truth)
+    return {code: threshold_sweep(matcher, graph, truth)}
+
+
+def _default_journal_dir():
+    from repro.experiments.config import default_cache_dir
+
+    return default_cache_dir() / "journal"
+
+
+def _sweep_run_key(args: argparse.Namespace) -> str:
+    """Run identity of one ``repro sweep``: inputs by content, plus
+    the algorithm selection."""
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(args.graph.read_bytes())
+    digest.update(b"\x00")
+    digest.update(args.truth.read_bytes())
+    return f"cli-sweep-{args.algorithm}-{digest.hexdigest()}"
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import SWEEP_JOURNAL_CODEC
+    from repro.pipeline.resilience import ResilientPool, RunJournal, Task
+
     if args.artifact_store is not None:
         # Accepted for flag parity with corpus/experiments; say so
         # instead of silently ignoring it.
@@ -340,16 +384,30 @@ def _command_sweep(args: argparse.Namespace) -> int:
         codes = PAPER_ALGORITHM_CODES
     else:
         codes = (args.algorithm.upper(),)
-    payloads = [(graph, truth, code) for code in codes]
-    if args.workers is not None and args.workers > 1 and len(codes) > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        # One cell per algorithm; gathering in submission order keeps
-        # the table identical to a serial run for any worker count.
-        with ProcessPoolExecutor(max_workers=args.workers) as pool:
-            sweeps = list(pool.map(_sweep_one_code, payloads))
-    else:
-        sweeps = [_sweep_one_code(payload) for payload in payloads]
+    journal = None
+    if args.resume:
+        # Content-keyed run identity: the same inputs resume, changed
+        # inputs never reuse a stale journal entry.
+        journal = RunJournal(
+            _default_journal_dir(), _sweep_run_key(args)
+        )
+    # One cell per algorithm; assembling on the code order keeps the
+    # table identical to a serial run for any worker count.
+    runner = ResilientPool(
+        args.workers if args.workers is not None else 0,
+        kind="process",
+        journal=journal,
+        codec=SWEEP_JOURNAL_CODEC,
+        label="sweep",
+    )
+    tasks = [
+        Task(key=code, fn=_sweep_one_cell, args=((graph, truth, code),))
+        for code in codes
+    ]
+    results = runner.run(tasks)
+    sweeps = [next(iter(results[code].values())) for code in codes]
+    if journal is not None:
+        journal.clear()
     rows = []
     for code, sweep in zip(codes, sweeps):
         best = sweep.best_scores
@@ -395,6 +453,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         workers=args.workers,
         artifact_store=args.artifact_store,
         store_read_tier=_store_read_tier(args),
+        resume=args.resume,
     )
     rows = [
         [
@@ -442,6 +501,8 @@ def _command_corpus(args: argparse.Namespace) -> int:
         workers=args.workers,
         artifact_store=args.artifact_store,
         store_read_tier=_store_read_tier(args),
+        resume=args.resume,
+        journal_dir=cache / "journal",
     )
     artifact = sum(r.artifact_seconds for r in records)
     matrix = sum(r.matrix_seconds for r in records)
@@ -499,15 +560,26 @@ def _command_dirty_er(args: argparse.Namespace) -> int:
         workers=args.workers,
         artifact_store=args.artifact_store,
         store_read_tier=_store_read_tier(args),
+        resume=args.resume,
+        journal_dir=cache / "journal",
     )
     workers = args.workers if args.workers is not None else 1
+    from repro.pipeline.resilience import RunJournal
+
+    journal = RunJournal(
+        cache / "journal", f"dirty-sweeps-{config.cache_key()}"
+    )
+    if not args.resume:
+        journal.clear()
     results = run_dirty_er_sweeps(
         records,
         codes=codes,
         grid=config.grid,
         progress=args.progress,
         workers=workers,
+        journal=journal,
     )
+    journal.clear()
     rows = []
     for code in codes:
         sweeps = [result.sweeps[code] for result in results]
@@ -596,6 +668,14 @@ def _command_store(args: argparse.Namespace) -> int:
                 ),
             )
         )
+        n_quarantined, quarantine_bytes = store.quarantine_counts()
+        if n_quarantined:
+            noun = "entry" if n_quarantined == 1 else "entries"
+            print(
+                f"quarantine: {n_quarantined} corrupt {noun} "
+                f"({_format_bytes(quarantine_bytes)}) moved aside in "
+                f"{store.quarantine_root} — purge clears them"
+            )
     elif args.store_command == "gc":
         evicted = store.gc(args.budget)
         print(
@@ -604,8 +684,12 @@ def _command_store(args: argparse.Namespace) -> int:
             f"{_format_bytes(store.total_bytes())} kept in {store.root}"
         )
     else:  # purge
+        n_quarantined, _ = store.quarantine_counts()
         count = store.purge()
-        print(f"purged {count} entries from {store.root}")
+        message = f"purged {count} entries from {store.root}"
+        if n_quarantined:
+            message += f" (+ {n_quarantined} quarantined)"
+        print(message)
     return 0
 
 
@@ -621,9 +705,32 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    A ``KeyboardInterrupt`` exits cleanly with the conventional code
+    130: every finished task already journaled as it landed (commits
+    are atomic) and the pools shut down on unwind, so ``--resume``
+    picks up exactly where the run stopped.  A permanent task failure
+    (:class:`~repro.pipeline.resilience.ResilienceError`) prints the
+    failed task keys to stderr and exits 1.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted — completed work is journaled; rerun with "
+            "--resume to continue where this run stopped",
+            file=sys.stderr,
+        )
+        return 130
+    except RuntimeError as error:
+        from repro.pipeline.resilience import ResilienceError
+
+        if isinstance(error, ResilienceError):
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -43,6 +43,8 @@ __all__ = [
     "threshold_sweep_best_of",
     "dirty_threshold_sweep",
     "optimal_threshold",
+    "sweeps_to_payload",
+    "sweeps_from_payload",
 ]
 
 #: The paper's grid: 0.05, 0.10, ..., 1.00.
@@ -169,6 +171,62 @@ def _no_weight_in_range(sorted_weights, low: float, high: float) -> bool:
     start = np.searchsorted(sorted_weights, low, side="left")
     end = np.searchsorted(sorted_weights, high, side="right")
     return start == end
+
+
+# ----------------------------------------------------------------------
+# Sweep (de)serialization
+# ----------------------------------------------------------------------
+def sweeps_to_payload(sweeps: dict[str, SweepResult]) -> dict:
+    """JSON-compatible form of an algorithm→sweep mapping.
+
+    Floats survive ``json.dumps``/``loads`` exactly (repr round-trip),
+    so a payload decoded by :func:`sweeps_from_payload` is
+    bit-identical to the sweeps it encodes — the results cache and the
+    resilience run journal both rely on this.
+    """
+    return {
+        code: [
+            [
+                point.threshold,
+                point.scores.precision,
+                point.scores.recall,
+                point.scores.f_measure,
+                point.scores.true_positives,
+                point.scores.output_pairs,
+                point.scores.ground_truth_pairs,
+                point.seconds,
+            ]
+            for point in sweep.points
+        ]
+        for code, sweep in sweeps.items()
+    }
+
+
+def sweeps_from_payload(payload: dict) -> dict[str, SweepResult]:
+    """Inverse of :func:`sweeps_to_payload`."""
+    sweeps: dict[str, SweepResult] = {}
+    for code, points in payload.items():
+        sweep = SweepResult(algorithm=code)
+        for (
+            threshold, precision, recall, f_measure,
+            true_positives, output_pairs, truth_pairs, seconds,
+        ) in points:
+            sweep.points.append(
+                SweepPoint(
+                    threshold=threshold,
+                    scores=EffectivenessScores(
+                        precision=precision,
+                        recall=recall,
+                        f_measure=f_measure,
+                        true_positives=int(true_positives),
+                        output_pairs=int(output_pairs),
+                        ground_truth_pairs=int(truth_pairs),
+                    ),
+                    seconds=seconds,
+                )
+            )
+        sweeps[code] = sweep
+    return sweeps
 
 
 def threshold_sweep_best_of(

@@ -14,11 +14,15 @@ With ``workers > 1`` whole graphs are distributed over a process pool
 the worker), exactly like :func:`~repro.experiments.runner.run_matching_sweeps`;
 results are assembled on the deterministic ``(record index, algorithm
 order)`` grid, so the output is invariant under the worker count.
+Execution runs on the shared fault-tolerant runner
+(:mod:`repro.pipeline.resilience`): cells retry with backoff, a broken
+pool respawns, permanent failures raise a
+:class:`~repro.pipeline.resilience.ResilienceError` naming the failed
+graphs, and an attached :class:`~repro.pipeline.resilience.RunJournal`
+makes interrupted runs resumable bit-identically.
 """
 
 from __future__ import annotations
-
-from concurrent.futures import ProcessPoolExecutor, as_completed
 
 from repro.evaluation.metrics import GroundTruthIndex
 from repro.evaluation.sweep import (
@@ -26,12 +30,18 @@ from repro.evaluation.sweep import (
     SweepResult,
     dirty_threshold_sweep,
 )
-from repro.experiments.runner import GraphRunResult
+from repro.experiments.runner import SWEEP_JOURNAL_CODEC, GraphRunResult
 from repro.extensions.dirty_er import (
     DIRTY_ALGORITHM_CODES,
     create_clusterer,
 )
 from repro.graph.unipartite import UnipartiteGraph
+from repro.pipeline.resilience import (
+    ResilientPool,
+    RetryPolicy,
+    RunJournal,
+    Task,
+)
 from repro.pipeline.workbench import DirtyGraphRecord
 
 __all__ = ["run_dirty_er_sweeps"]
@@ -43,6 +53,8 @@ def run_dirty_er_sweeps(
     grid: tuple[float, ...] = DEFAULT_THRESHOLD_GRID,
     progress: bool = False,
     workers: int = 1,
+    policy: RetryPolicy | None = None,
+    journal: RunJournal | None = None,
 ) -> list[GraphRunResult]:
     """Threshold-sweep every clustering algorithm over every record.
 
@@ -50,65 +62,62 @@ def run_dirty_er_sweeps(
     record (``normalized_size`` is the unipartite pair-space density).
     The unit of parallel work is one graph; a single-record corpus
     falls back to one task per algorithm so a pool still has work.
-    Results are identical for any ``workers`` value.
+    Results are identical for any ``workers`` value, any retry
+    interleaving and any resume point (``journal``).
     """
-    if workers > 1 and len(records) == 1 and len(codes) > 1:
+    code_tag = "-".join(codes)
+    single = workers > 1 and len(records) == 1 and len(codes) > 1
+    if single:
         record = records[0]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(
-                    _sweep_dirty_graph,
-                    record.graph,
-                    record.ground_truth,
-                    (code,),
-                    grid,
-                )
-                for code in codes
-            ]
-            merged: dict[str, SweepResult] = {}
-            for future in futures:
-                merged.update(future.result())
+        tasks = [
+            Task(
+                key=f"000:{record.dataset}:{record.function}:{code}",
+                fn=_sweep_dirty_graph,
+                args=(record.graph, record.ground_truth, (code,), grid),
+            )
+            for code in codes
+        ]
+        record_by_key = {}
+    else:
+        tasks = [
+            Task(
+                key=f"{index:03d}:{record.dataset}"
+                f":{record.function}:{code_tag}",
+                fn=_sweep_dirty_graph,
+                args=(record.graph, record.ground_truth, codes, grid),
+            )
+            for index, record in enumerate(records)
+        ]
+        record_by_key = {
+            task.key: record for task, record in zip(tasks, records)
+        }
+
+    on_result = None
+    if progress and not single:
+
+        def on_result(key, sweeps):
+            _print_progress(record_by_key[key], sweeps)
+
+    runner = ResilientPool(
+        workers,
+        kind="process",
+        policy=policy,
+        journal=journal,
+        codec=SWEEP_JOURNAL_CODEC,
+        label="dirty-er",
+    )
+    results_by_key = runner.run(tasks, on_result=on_result)
+
+    if single:
+        merged: dict[str, SweepResult] = {}
+        for task in tasks:
+            merged.update(results_by_key[task.key])
         sweeps = {code: merged[code] for code in codes}
         if progress:
-            _print_progress(record, sweeps)
+            _print_progress(records[0], sweeps)
         all_sweeps = [sweeps]
-    elif workers > 1 and len(records) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _sweep_dirty_graph,
-                    record.graph,
-                    record.ground_truth,
-                    codes,
-                    grid,
-                ): index
-                for index, record in enumerate(records)
-            }
-            by_index: dict[int, dict[str, SweepResult]] = {}
-            for future in as_completed(futures):
-                index = futures[future]
-                by_index[index] = future.result()
-                if progress:
-                    _print_progress(records[index], by_index[index])
-        all_sweeps = [by_index[index] for index in range(len(records))]
     else:
-        all_sweeps = []
-        for record in records:
-            truth_index = GroundTruthIndex(record.ground_truth)
-            sweeps = {
-                code: dirty_threshold_sweep(
-                    create_clusterer(code),
-                    record.graph,
-                    record.ground_truth,
-                    grid,
-                    truth_index=truth_index,
-                )
-                for code in codes
-            }
-            record.graph.release_compiled()
-            if progress:
-                _print_progress(record, sweeps)
-            all_sweeps.append(sweeps)
+        all_sweeps = [results_by_key[task.key] for task in tasks]
 
     return [
         GraphRunResult(
@@ -132,7 +141,7 @@ def _sweep_dirty_graph(
 ) -> dict[str, SweepResult]:
     """One process-pool work unit: all clustering sweeps of one graph."""
     truth_index = GroundTruthIndex(ground_truth)
-    return {
+    sweeps = {
         code: dirty_threshold_sweep(
             create_clusterer(code),
             graph,
@@ -142,6 +151,10 @@ def _sweep_dirty_graph(
         )
         for code in codes
     }
+    # Release the compiled selections after the sweep (meaningful in
+    # the serial inline path, where the graph is the caller's object).
+    graph.release_compiled()
+    return sweeps
 
 
 def _print_progress(

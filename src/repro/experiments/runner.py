@@ -31,15 +31,15 @@ wall-clock only — results and cache keys are invariant.
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.evaluation.filtering import find_duplicate_inputs, is_noisy_graph
-from repro.evaluation.metrics import EffectivenessScores, GroundTruthIndex
+from repro.evaluation.metrics import GroundTruthIndex
 from repro.evaluation.sweep import (
-    SweepPoint,
     SweepResult,
+    sweeps_from_payload,
+    sweeps_to_payload,
     threshold_sweep,
     threshold_sweep_best_of,
 )
@@ -51,6 +51,13 @@ from repro.matching import (
     create_matcher,
 )
 from repro.matching.registry import PAPER_ALGORITHM_CODES
+from repro.pipeline.resilience import (
+    JournalCodec,
+    ResilientPool,
+    RetryPolicy,
+    RunJournal,
+    Task,
+)
 from repro.pipeline.workbench import GraphRecord, generate_corpus
 
 __all__ = ["GraphRunResult", "run_experiments", "run_matching_sweeps"]
@@ -84,6 +91,8 @@ def run_experiments(
     workers: int | None = None,
     artifact_store: str | Path | None = None,
     store_read_tier: str | Path | None = None,
+    resume: bool = False,
+    policy: RetryPolicy | None = None,
 ) -> list[GraphRunResult]:
     """Execute (or load from cache) the full experimental protocol.
 
@@ -95,6 +104,14 @@ def run_experiments(
     ``store_read_tier`` layers a shared read-only store directory
     under it.  None of the three has any effect on the results or on
     any cache key.
+
+    Both stages journal completed work under ``<cache>/journal`` as it
+    lands (see :mod:`repro.pipeline.resilience`); after an interrupted
+    run, ``resume=True`` skips everything already journaled and the
+    assembled results are bit-identical to an uninterrupted run.  The
+    journal is cleared on success (the results cache takes over) and
+    on any non-resume start.  ``policy`` overrides the retry/deadline
+    defaults of the resilient runner.
     """
     if cache_dir is None:
         cache_dir = default_cache_dir()
@@ -105,6 +122,7 @@ def run_experiments(
     if results_path.exists():
         return _load_results(results_path)
 
+    journal_root = cache_dir / "journal"
     corpus = generate_corpus(
         config.corpus,
         cache_dir=cache_dir / "corpus",
@@ -112,15 +130,27 @@ def run_experiments(
         workers=workers,
         artifact_store=artifact_store,
         store_read_tier=store_read_tier,
+        resume=resume,
+        journal_dir=journal_root,
+        policy=policy,
     )
     n_workers = workers if workers is not None else config.corpus.workers
+    sweep_journal = RunJournal(journal_root, f"sweeps-{config.cache_key()}")
+    if not resume:
+        sweep_journal.clear()
     results = run_matching_sweeps(
-        corpus, config, progress=progress, workers=n_workers
+        corpus,
+        config,
+        progress=progress,
+        workers=n_workers,
+        policy=policy,
+        journal=sweep_journal,
     )
     results = _apply_filters(results, config)
 
     results_path.parent.mkdir(parents=True, exist_ok=True)
     _store_results(results_path, results)
+    sweep_journal.clear()
     return results
 
 
@@ -130,6 +160,8 @@ def run_matching_sweeps(
     codes: tuple[str, ...] = PAPER_ALGORITHM_CODES,
     progress: bool = False,
     workers: int = 1,
+    policy: RetryPolicy | None = None,
+    journal: RunJournal | None = None,
 ) -> list[GraphRunResult]:
     """Threshold-sweep every algorithm over every corpus record.
 
@@ -143,71 +175,74 @@ def run_matching_sweeps(
     assembled on the deterministic ``(record index, algorithm order)``
     grid, so the output is identical to a serial run for any worker
     count.
+
+    Execution runs on the shared :class:`ResilientPool` (retries,
+    deadlines, broken-pool recovery — :mod:`repro.pipeline.resilience`);
+    a permanently failed cell raises
+    :class:`~repro.pipeline.resilience.ResilienceError` naming the
+    ``index:dataset:function:codes`` task key of every failed graph,
+    with pending work cancelled instead of silently lost.  Pass a
+    ``journal`` to commit each finished graph's sweeps to disk as it
+    lands and to skip already-journaled graphs on a resumed run.
     """
-    if workers > 1 and len(records) == 1 and len(codes) > 1:
+    code_tag = "-".join(codes)
+    single = workers > 1 and len(records) == 1 and len(codes) > 1
+    if single:
         # A lone graph cannot be split by record; fall back to one
         # task per algorithm so the pool still has work (the graph is
         # pickled per algorithm, but there is only one graph to ship).
         record = records[0]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            code_futures = [
-                pool.submit(
-                    _sweep_graph,
-                    record.graph,
-                    record.ground_truth,
-                    (code,),
-                    config,
-                )
-                for code in codes
-            ]
-            merged: dict[str, SweepResult] = {}
-            for future in code_futures:
-                merged.update(future.result())
+        tasks = [
+            Task(
+                key=f"000:{record.dataset}:{record.function}:{code}",
+                fn=_sweep_graph,
+                args=(record.graph, record.ground_truth, (code,), config),
+            )
+            for code in codes
+        ]
+        record_by_key = {}
+    else:
+        tasks = [
+            Task(
+                key=f"{index:03d}:{record.dataset}"
+                f":{record.function}:{code_tag}",
+                fn=_sweep_graph,
+                args=(record.graph, record.ground_truth, codes, config),
+            )
+            for index, record in enumerate(records)
+        ]
+        record_by_key = {
+            task.key: record for task, record in zip(tasks, records)
+        }
+
+    on_result = None
+    if progress and not single:
+
+        def on_result(key, sweeps):
+            # Stream each graph as it lands (possibly out of
+            # submission order).
+            _print_progress(record_by_key[key], sweeps)
+
+    runner = ResilientPool(
+        workers,
+        kind="process",
+        policy=policy,
+        journal=journal,
+        codec=SWEEP_JOURNAL_CODEC,
+        label="sweeps",
+    )
+    results_by_key = runner.run(tasks, on_result=on_result)
+
+    if single:
+        merged: dict[str, SweepResult] = {}
+        for task in tasks:
+            merged.update(results_by_key[task.key])
         sweeps = {code: merged[code] for code in codes}
         if progress:
-            _print_progress(record, sweeps)
+            _print_progress(records[0], sweeps)
         all_sweeps = [sweeps]
-    elif workers > 1 and len(records) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(
-                    _sweep_graph,
-                    record.graph,
-                    record.ground_truth,
-                    codes,
-                    config,
-                ): index
-                for index, record in enumerate(records)
-            }
-            by_index: dict[int, dict[str, SweepResult]] = {}
-            for future in as_completed(futures):
-                index = futures[future]
-                by_index[index] = future.result()
-                if progress:
-                    # Stream each graph as it lands (possibly out of
-                    # submission order).
-                    _print_progress(records[index], by_index[index])
-        all_sweeps = [by_index[index] for index in range(len(records))]
     else:
-        all_sweeps = []
-        for record in records:
-            truth_index = GroundTruthIndex(record.ground_truth)
-            sweeps = {
-                code: _sweep_algorithm(
-                    code,
-                    record.graph,
-                    record.ground_truth,
-                    config,
-                    truth_index,
-                )
-                for code in codes
-            }
-            # The compiled artifacts served their sweep; release them
-            # so corpus-sized runs do not accumulate derived arrays.
-            record.graph.release_compiled()
-            if progress:
-                _print_progress(record, sweeps)
-            all_sweeps.append(sweeps)
+        all_sweeps = [results_by_key[task.key] for task in tasks]
 
     return [
         GraphRunResult(
@@ -243,12 +278,17 @@ def _sweep_graph(
     once in the worker and shared by every algorithm.
     """
     truth_index = GroundTruthIndex(ground_truth)
-    return {
+    sweeps = {
         code: _sweep_algorithm(
             code, graph, ground_truth, config, truth_index
         )
         for code in codes
     }
+    # The compiled artifacts served their sweep; release them so
+    # corpus-sized serial runs do not accumulate derived arrays (in a
+    # pool worker the graph is a private pickle copy and this is moot).
+    graph.release_compiled()
+    return sweeps
 
 
 def _sweep_algorithm(
@@ -315,22 +355,7 @@ def _store_results(path: Path, results: list[GraphRunResult]) -> None:
                 "category": result.category,
                 "n_edges": result.n_edges,
                 "normalized_size": result.normalized_size,
-                "sweeps": {
-                    code: [
-                        [
-                            point.threshold,
-                            point.scores.precision,
-                            point.scores.recall,
-                            point.scores.f_measure,
-                            point.scores.true_positives,
-                            point.scores.output_pairs,
-                            point.scores.ground_truth_pairs,
-                            point.seconds,
-                        ]
-                        for point in sweep.points
-                    ]
-                    for code, sweep in result.sweeps.items()
-                },
+                "sweeps": sweeps_to_payload(result.sweeps),
             }
         )
     path.write_text(json.dumps(payload))
@@ -340,28 +365,6 @@ def _load_results(path: Path) -> list[GraphRunResult]:
     payload = json.loads(path.read_text())
     results = []
     for entry in payload:
-        sweeps = {}
-        for code, points in entry["sweeps"].items():
-            sweep = SweepResult(algorithm=code)
-            for (
-                threshold, precision, recall, f_measure,
-                true_positives, output_pairs, truth_pairs, seconds,
-            ) in points:
-                sweep.points.append(
-                    SweepPoint(
-                        threshold=threshold,
-                        scores=EffectivenessScores(
-                            precision=precision,
-                            recall=recall,
-                            f_measure=f_measure,
-                            true_positives=int(true_positives),
-                            output_pairs=int(output_pairs),
-                            ground_truth_pairs=int(truth_pairs),
-                        ),
-                        seconds=seconds,
-                    )
-                )
-            sweeps[code] = sweep
         results.append(
             GraphRunResult(
                 dataset=entry["dataset"],
@@ -370,7 +373,27 @@ def _load_results(path: Path) -> list[GraphRunResult]:
                 category=entry["category"],
                 n_edges=entry["n_edges"],
                 normalized_size=entry["normalized_size"],
-                sweeps=sweeps,
+                sweeps=sweeps_from_payload(entry["sweeps"]),
             )
         )
     return results
+
+
+# ----------------------------------------------------------------------
+# Journal codec: one graph's sweeps as a JSON entry
+# ----------------------------------------------------------------------
+def _write_sweeps_entry(sweeps: dict[str, SweepResult], path: Path) -> None:
+    (path / "sweeps.json").write_text(json.dumps(sweeps_to_payload(sweeps)))
+
+
+def _read_sweeps_entry(path: Path) -> dict[str, SweepResult]:
+    return sweeps_from_payload(
+        json.loads((path / "sweeps.json").read_text())
+    )
+
+
+#: How one matching-sweep task result journals (shared with dirty-ER
+#: and the CLI sweep command — a sweeps dict is a sweeps dict).
+SWEEP_JOURNAL_CODEC = JournalCodec(
+    write=_write_sweeps_entry, read=_read_sweeps_entry
+)

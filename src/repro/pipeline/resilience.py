@@ -1,0 +1,707 @@
+"""Fault-tolerant execution layer: resilient fan-out + run journal.
+
+Every long multi-process job in the stack — corpus generation, the
+matching sweeps, the dirty-ER sweeps, the CLI sweep command and the
+corpus-cache write path — fans work out over a pool.  Before this
+module each of those sites assumed workers never hang, crash or return
+garbage, and an interrupted run lost all completed work.
+:class:`ResilientPool` is the one shared runner they all sit on now;
+it adds, without changing any result:
+
+* **per-task deadlines** (:attr:`RetryPolicy.deadline_seconds`): a
+  task observed running past its deadline is abandoned together with
+  its (possibly wedged) pool, the pool is respawned, and the task is
+  retried like any other failure;
+* **bounded retries with exponential backoff + jitter**: a failed
+  task is resubmitted up to :attr:`RetryPolicy.max_retries` times,
+  waiting ``backoff_seconds * backoff_multiplier**(attempt-1)``
+  (scaled by a deterministic, seeded jitter) between attempts;
+* **broken-pool recovery**: a :class:`BrokenProcessPool` (a worker
+  OOM-killed or crashed hard) respawns the pool and resubmits only
+  the unfinished tasks — completed results are never recomputed;
+* **graceful degradation**: after
+  :attr:`RetryPolicy.max_pool_failures` pool deaths the remaining
+  tasks run *inline, serially, in the parent* (with a warning), so a
+  run always completes when the tasks themselves can;
+* **journaling**: with a :class:`RunJournal` attached, every
+  completed task's result is committed to disk (atomic temp+rename,
+  the same discipline as :class:`~repro.pipeline.store.ArtifactStore`)
+  the moment it lands, and a later run over the same journal skips
+  the finished tasks entirely — resumed results are bit-identical to
+  an uninterrupted run because the per-task outputs round-trip
+  exactly (``repro corpus|sweep|experiments|dirty-er --resume``).
+
+Failure reporting
+-----------------
+A task that exhausts its retries does not take the run down silently:
+pending (not yet started) tasks are cancelled, already-running tasks
+are drained (their results still journal), and a single
+:class:`ResilienceError` is raised naming every failed task key, so
+the caller knows exactly which graph / sweep cell died.
+
+Fault injection
+---------------
+The task wrapper consults :mod:`repro.testing.faults` before running
+the payload, so the deterministic, environment-driven injectors (kill
+the worker, delay past the deadline, raise) exercise every recovery
+path above from the real process topology.  With no faults configured
+the hook is a single dictionary lookup.
+
+Determinism
+-----------
+Results are assembled on the caller's task order, retries re-run pure
+functions, and the jitter RNG is seeded per pool — so for any worker
+count, any interleaving of failures and any resume point, a run that
+completes returns exactly what a serial, failure-free run returns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import time
+import uuid
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "DEFAULT_RETRY_POLICY",
+    "JournalCodec",
+    "ResilienceError",
+    "ResilientPool",
+    "RetryPolicy",
+    "RunJournal",
+    "Task",
+    "TaskFailure",
+    "default_journal_dir",
+]
+
+#: Version of the on-disk journal entry format; bump to invalidate
+#: every existing journal entry on first contact.
+JOURNAL_VERSION = 1
+
+_ENTRY_MARKER = "_entry.json"
+
+
+def default_journal_dir() -> Path:
+    """Journal root under the cache directory (``REPRO_CACHE``)."""
+    return Path(os.environ.get("REPRO_CACHE", ".repro_cache")) / "journal"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure-handling knobs of a :class:`ResilientPool`.
+
+    The defaults are documented in ``docs/RESILIENCE.md`` (the doc is
+    drift-checked against this class by ``tests/test_docs.py``).
+    """
+
+    #: Retries per task after the first attempt (attempts = retries+1).
+    max_retries: int = 2
+    #: Base backoff before the first retry.
+    backoff_seconds: float = 0.05
+    #: Backoff growth factor per further retry.
+    backoff_multiplier: float = 2.0
+    #: Jitter fraction: each wait is scaled by ``1 + jitter * u`` with
+    #: ``u`` drawn from the pool's seeded RNG (deterministic per run).
+    backoff_jitter: float = 0.25
+    #: Per-task wall-clock deadline, measured from the moment the task
+    #: is observed running in a worker.  ``None`` disables deadlines.
+    deadline_seconds: float | None = None
+    #: Pool deaths tolerated before degrading to inline serial
+    #: execution in the parent.
+    max_pool_failures: int = 3
+    #: Completion/deadline poll interval of the pooled driver.
+    poll_seconds: float = 0.05
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Wait before retry ``attempt`` (1-based), jittered."""
+        base = self.backoff_seconds * (
+            self.backoff_multiplier ** max(attempt - 1, 0)
+        )
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of fan-out work.
+
+    ``key`` identifies the task for journaling, retry bookkeeping and
+    failure reporting; it must be unique within a run and stable
+    across runs (resume matches on it).  ``fn`` must be a module-level
+    callable (process pools pickle it by reference).
+    """
+
+    key: str
+    fn: Callable
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One permanently failed task, as reported by :class:`ResilienceError`."""
+
+    key: str
+    attempts: int
+    error: str
+    kind: str  # "error" | "timeout" | "pool"
+
+
+class ResilienceError(RuntimeError):
+    """Raised when tasks fail permanently; names every failed key."""
+
+    def __init__(
+        self,
+        failures: list[TaskFailure],
+        cancelled: list[str],
+        completed: int,
+    ) -> None:
+        self.failures = list(failures)
+        self.cancelled = list(cancelled)
+        self.completed = completed
+        lines = [
+            f"{len(failures)} task(s) failed permanently "
+            f"({completed} completed, {len(cancelled)} cancelled):"
+        ]
+        lines += [
+            f"  - {f.key}: {f.kind} after {f.attempts} attempt(s): {f.error}"
+            for f in failures
+        ]
+        if cancelled:
+            lines.append(f"  cancelled: {', '.join(sorted(cancelled))}")
+        super().__init__("\n".join(lines))
+
+
+# ----------------------------------------------------------------------
+# Run journal
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JournalCodec:
+    """How one task result is written to / read from an entry directory."""
+
+    write: Callable[[Any, Path], None]
+    read: Callable[[Path], Any]
+
+
+class RunJournal:
+    """Content-keyed record of a run's completed tasks.
+
+    One directory per run (``<root>/<run-id>/``), one subdirectory per
+    completed task.  Commits follow the
+    :class:`~repro.pipeline.store.ArtifactStore` discipline: the entry
+    is staged in a temp directory, its ``_entry.json`` marker (which
+    stamps the task key and :data:`JOURNAL_VERSION`) is written last,
+    and one atomic ``os.replace`` publishes the whole directory —
+    a crash mid-commit leaves only an invisible temp dir, never a
+    half-entry.  Commits are write-once: a racing loser discards.
+
+    The journal holds *results*, not progress: an entry is only ever
+    written after its task finished, so everything a resumed run loads
+    is exactly what the interrupted run computed.
+    """
+
+    def __init__(self, root: str | Path, run_key: str) -> None:
+        self.root = Path(root)
+        self.run_key = run_key
+        import hashlib
+
+        digest = hashlib.blake2b(
+            run_key.encode("utf-8"), digest_size=8
+        ).hexdigest()
+        slug = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in run_key
+        )[:48]
+        self.dir = self.root / f"{slug}-{digest}"
+
+    def _entry_dir(self, task_key: str) -> Path:
+        import hashlib
+
+        digest = hashlib.blake2b(
+            task_key.encode("utf-8"), digest_size=8
+        ).hexdigest()
+        return self.dir / digest
+
+    # ------------------------------------------------------------ read
+    def lookup(self, task_key: str) -> Path | None:
+        """The committed entry directory for ``task_key``, or ``None``.
+
+        A corrupt or foreign-version marker is treated as a miss and
+        the dead entry is removed (the task simply re-runs).
+        """
+        entry = self._entry_dir(task_key)
+        marker = entry / _ENTRY_MARKER
+        try:
+            meta = json.loads(marker.read_text())
+        except OSError:
+            return None
+        except json.JSONDecodeError:
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        if (
+            meta.get("version") != JOURNAL_VERSION
+            or meta.get("task") != task_key
+        ):
+            shutil.rmtree(entry, ignore_errors=True)
+            return None
+        return entry
+
+    def completed_keys(self) -> set[str]:
+        """Task keys with a committed entry."""
+        keys = set()
+        if not self.dir.is_dir():
+            return keys
+        for marker in self.dir.glob(f"*/{_ENTRY_MARKER}"):
+            try:
+                meta = json.loads(marker.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if meta.get("version") == JOURNAL_VERSION and "task" in meta:
+                keys.add(meta["task"])
+        return keys
+
+    # ----------------------------------------------------------- write
+    def commit(
+        self, task_key: str, write: Callable[[Path], None]
+    ) -> bool:
+        """Atomically publish one task's entry; write-once.
+
+        ``write`` receives the staging directory and writes the entry
+        files into it.  Returns ``False`` when an entry already exists
+        (the racing-loser path) or the commit could not land.
+        """
+        final = self._entry_dir(task_key)
+        if (final / _ENTRY_MARKER).exists():
+            return False
+        tmp = self.dir / f".tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            tmp.mkdir(parents=True, exist_ok=True)
+            write(tmp)
+            (tmp / _ENTRY_MARKER).write_text(
+                json.dumps(
+                    {
+                        "version": JOURNAL_VERSION,
+                        "task": task_key,
+                        "created": time.time(),
+                    }
+                )
+            )
+            os.replace(tmp, final)
+            return True
+        except OSError:
+            return False
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def clear(self) -> None:
+        """Drop the run's journal entirely (fresh start / clean finish)."""
+        shutil.rmtree(self.dir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Task wrapper (runs inside the worker; fault-injection hook)
+# ----------------------------------------------------------------------
+def _run_task(key: str, attempt: int, fn: Callable, args: tuple):
+    """Execute one task attempt; module-level so process pools can
+    pickle it.  The fault hook is a no-op unless ``REPRO_FAULTS`` is
+    set (see :mod:`repro.testing.faults`)."""
+    from repro.testing.faults import maybe_inject
+
+    maybe_inject(key, attempt)
+    return fn(*args)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+@dataclass
+class _RunState:
+    """Mutable bookkeeping of one :meth:`ResilientPool.run` call."""
+
+    remaining: dict[str, Task]
+    attempts: dict[str, int]
+    results: dict[str, Any]
+    failures: list[TaskFailure] = field(default_factory=list)
+    cancelled: list[str] = field(default_factory=list)
+    not_before: dict[str, float] = field(default_factory=dict)
+
+
+class ResilientPool:
+    """Shared fault-tolerant runner for every fan-out in the stack.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``<= 1`` (or a single task) runs inline in the
+        parent — same retry/journal semantics, no pool.
+    kind:
+        ``"process"`` (default) or ``"thread"``.  Thread pools cannot
+        break like process pools, and a thread past its deadline
+        cannot be killed — the pool is abandoned to a fresh one and
+        the hung thread finishes in the background.
+    policy:
+        The :class:`RetryPolicy`; ``None`` uses the defaults.
+    journal / codec:
+        Attach a :class:`RunJournal` plus the :class:`JournalCodec`
+        that (de)serializes one task result.  Completed tasks commit
+        as they land; :meth:`run` preloads committed entries and skips
+        their tasks.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        kind: str = "process",
+        policy: RetryPolicy | None = None,
+        journal: RunJournal | None = None,
+        codec: JournalCodec | None = None,
+        label: str = "pool",
+    ) -> None:
+        if kind not in ("process", "thread"):
+            raise ValueError(f"unknown pool kind: {kind!r}")
+        if journal is not None and codec is None:
+            raise ValueError("a journal needs a codec")
+        self.workers = max(int(workers), 0)
+        self.kind = kind
+        self.policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+        self.journal = journal
+        self.codec = codec
+        self.label = label
+        # Deterministic jitter: seeded per pool, consumed in retry order.
+        self._rng = random.Random(0x5EED)
+
+    # ------------------------------------------------------------- run
+    def run(
+        self,
+        tasks: list[Task],
+        on_result: Callable[[str, Any], None] | None = None,
+    ) -> dict[str, Any]:
+        """Execute every task; return ``{task key: result}``.
+
+        ``on_result`` fires in the parent as each task *finishes*
+        (journal hits are preloaded silently — they already ran).
+        Raises :class:`ResilienceError` when any task fails
+        permanently; everything completed up to that point is
+        journaled, so a rerun resumes instead of recomputing.
+        """
+        keys = [task.key for task in tasks]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate task keys")
+        state = _RunState(remaining={}, attempts={}, results={})
+        for task in tasks:
+            value = self._journal_load(task.key)
+            if value is not _MISS:
+                state.results[task.key] = value
+            else:
+                state.remaining[task.key] = task
+                state.attempts[task.key] = 0
+
+        use_pool = self.workers > 1 and len(state.remaining) > 1
+        if use_pool:
+            self._run_pooled(state, on_result)
+        if state.remaining and not state.failures:
+            self._run_serial(state, on_result)
+        if state.failures:
+            state.cancelled.extend(
+                key
+                for key in state.remaining
+                if key not in state.cancelled
+            )
+            raise ResilienceError(
+                state.failures, state.cancelled, len(state.results)
+            )
+        return {task.key: state.results[task.key] for task in tasks}
+
+    # ------------------------------------------------------ journaling
+    def _journal_load(self, key: str):
+        if self.journal is None:
+            return _MISS
+        entry = self.journal.lookup(key)
+        if entry is None:
+            return _MISS
+        try:
+            return self.codec.read(entry)
+        except Exception:
+            # A journal entry that no longer decodes is a miss: drop
+            # it and recompute (never crash a run over its own cache).
+            shutil.rmtree(entry, ignore_errors=True)
+            return _MISS
+
+    def _complete(
+        self,
+        key: str,
+        value,
+        state: _RunState,
+        on_result: Callable[[str, Any], None] | None,
+    ) -> None:
+        state.results[key] = value
+        state.remaining.pop(key, None)
+        if self.journal is not None:
+            try:
+                self.journal.commit(
+                    key, lambda path: self.codec.write(value, path)
+                )
+            except OSError:  # pragma: no cover - disk-full style
+                warnings.warn(
+                    f"[{self.label}] journal commit failed for {key!r}; "
+                    "the run continues un-journaled",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if on_result is not None:
+            on_result(key, value)
+
+    def _record_failure(
+        self, state: _RunState, key: str, error: str, kind: str
+    ) -> None:
+        """One failed attempt; escalates to permanent after retries."""
+        state.attempts[key] += 1
+        if state.attempts[key] > self.policy.max_retries:
+            state.failures.append(
+                TaskFailure(
+                    key=key,
+                    attempts=state.attempts[key],
+                    error=error,
+                    kind=kind,
+                )
+            )
+            state.remaining.pop(key, None)
+        else:
+            state.not_before[key] = time.monotonic() + self.policy.backoff(
+                state.attempts[key], self._rng
+            )
+
+    # ---------------------------------------------------------- serial
+    def _run_serial(
+        self,
+        state: _RunState,
+        on_result: Callable[[str, Any], None] | None,
+    ) -> None:
+        """Inline execution with the same retry/journal semantics.
+
+        Deadlines cannot be enforced here — there is no second thread
+        of control to observe a hang — which is the accepted cost of
+        the always-completes degradation path.
+        """
+        for key, task in list(state.remaining.items()):
+            if state.failures:
+                state.cancelled.append(key)
+                state.remaining.pop(key, None)
+                continue
+            while True:
+                try:
+                    value = _run_task(
+                        key, state.attempts[key], task.fn, task.args
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    self._record_failure(state, key, repr(error), "error")
+                    if key not in state.remaining:
+                        break
+                    time.sleep(
+                        max(
+                            state.not_before.get(key, 0.0)
+                            - time.monotonic(),
+                            0.0,
+                        )
+                    )
+                    continue
+                self._complete(key, value, state, on_result)
+                break
+
+    # ---------------------------------------------------------- pooled
+    def _make_executor(self):
+        if self.kind == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _run_pooled(
+        self,
+        state: _RunState,
+        on_result: Callable[[str, Any], None] | None,
+    ) -> None:
+        """Pool driver: submit, poll, retry, respawn, degrade.
+
+        Exits with ``state.remaining`` empty (all done), non-empty
+        with failures recorded (permanent failure: pending cancelled,
+        running drained), or non-empty without failures (degradation:
+        the caller finishes inline).
+        """
+        policy = self.policy
+        pool_failures = 0
+        while state.remaining and not state.failures:
+            if pool_failures >= policy.max_pool_failures:
+                warnings.warn(
+                    f"[{self.label}] worker pool failed "
+                    f"{pool_failures} time(s); finishing the remaining "
+                    f"{len(state.remaining)} task(s) inline serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return  # graceful degradation: caller runs serially
+            executor = self._make_executor()
+            futures: dict[Future, str] = {}
+            running_since: dict[str, float] = {}
+            submitted: set[str] = set()
+            broken_keys: set[str] = set()
+            broken = False
+            try:
+                while (
+                    not state.failures
+                    and not broken
+                    and (futures or any(
+                        key not in submitted for key in state.remaining
+                    ))
+                ):
+                    now = time.monotonic()
+                    for key, task in list(state.remaining.items()):
+                        if key in submitted:
+                            continue
+                        if state.not_before.get(key, 0.0) > now:
+                            continue
+                        try:
+                            future = executor.submit(
+                                _run_task,
+                                key,
+                                state.attempts[key],
+                                task.fn,
+                                task.args,
+                            )
+                        except (BrokenProcessPool, RuntimeError):
+                            broken = True
+                            break
+                        futures[future] = key
+                        submitted.add(key)
+                    if broken:
+                        break
+                    if futures:
+                        done, _ = wait(
+                            set(futures),
+                            timeout=policy.poll_seconds,
+                            return_when=FIRST_COMPLETED,
+                        )
+                    else:
+                        done = set()
+                        time.sleep(policy.poll_seconds)
+                    for future in done:
+                        key = futures.pop(future)
+                        running_since.pop(key, None)
+                        submitted.discard(key)
+                        try:
+                            value = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            broken_keys.add(key)
+                            continue
+                        except Exception as error:
+                            self._record_failure(
+                                state, key, repr(error), "error"
+                            )
+                            continue
+                        self._complete(key, value, state, on_result)
+                    if broken:
+                        break
+                    if policy.deadline_seconds is not None:
+                        now = time.monotonic()
+                        timed_out = []
+                        for future, key in futures.items():
+                            if not future.running():
+                                continue
+                            started = running_since.setdefault(key, now)
+                            if now - started > policy.deadline_seconds:
+                                timed_out.append(key)
+                        if timed_out:
+                            # The workers holding these tasks may be
+                            # wedged: abandon the whole pool (the
+                            # survivors' unfinished tasks resubmit on
+                            # the fresh one at no attempt cost).
+                            for key in timed_out:
+                                self._record_failure(
+                                    state,
+                                    key,
+                                    f"deadline of "
+                                    f"{policy.deadline_seconds:.3g}s "
+                                    "exceeded",
+                                    "timeout",
+                                )
+                            break
+                if broken:
+                    # Every unfinished submitted task is charged one
+                    # attempt: the culprit cannot be told apart from
+                    # its pool-mates post-mortem, and charging all of
+                    # them keeps a deterministic crasher from
+                    # respawn-looping forever.
+                    pool_failures += 1
+                    for key in submitted | broken_keys:
+                        if key in state.remaining:
+                            self._record_failure(
+                                state, key, "worker pool broke", "pool"
+                            )
+                            state.not_before.pop(key, None)
+                if state.failures:
+                    self._drain(state, futures, on_result)
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+    def _drain(
+        self,
+        state: _RunState,
+        futures: dict[Future, str],
+        on_result: Callable[[str, Any], None] | None,
+    ) -> None:
+        """Permanent-failure exit: cancel pending, keep running work.
+
+        Queued futures are cancelled; already-running ones are waited
+        for (bounded) so their results still land in the journal — an
+        aborted run loses nothing that finished.
+        """
+        still_running: dict[Future, str] = {}
+        for future, key in futures.items():
+            if key not in state.remaining:
+                continue  # already escalated (e.g. a timeout failure)
+            if future.cancel():
+                state.cancelled.append(key)
+                state.remaining.pop(key, None)
+            else:
+                still_running[future] = key
+        timeout = self.policy.deadline_seconds or 60.0
+        done, not_done = wait(set(still_running), timeout=timeout)
+        for future in done:
+            key = still_running[future]
+            try:
+                value = future.result()
+            except Exception as error:
+                state.failures.append(
+                    TaskFailure(
+                        key=key,
+                        attempts=state.attempts[key] + 1,
+                        error=repr(error),
+                        kind="error",
+                    )
+                )
+                state.remaining.pop(key, None)
+            else:
+                self._complete(key, value, state, on_result)
+        for future in not_done:
+            key = still_running[future]
+            state.cancelled.append(key)
+            state.remaining.pop(key, None)
+
+
+#: Sentinel for "no journal entry" (``None`` is a legal task result).
+_MISS = object()

@@ -44,6 +44,21 @@ mtime, refreshed on every load) until the store fits a byte budget;
 a store constructed with ``size_budget`` enforces it after every
 write.  :meth:`ArtifactStore.purge` empties the store.
 
+Corruption and quarantine
+-------------------------
+A committed entry can still rot after the fact — a torn write on a
+dying disk, bit flips, an interrupted copy of the store directory.
+Reads detect this (an unparseable manifest, a payload that no longer
+decodes) and **quarantine** the entry: both files move to
+``<root>/quarantine/`` — aside, not deleted — the load reports a
+miss, and the caller rebuilds and recommits under the same key.
+Quarantined files are never consulted again (no retry-loop on known-
+bad bytes) but are kept for inspection; ``repro store ls`` surfaces
+their count, ``purge`` clears them, and ``gc`` sweeps quarantined
+files older than the stray grace period so the corner cannot grow
+without bound.  Version-stamp mismatches are *staleness*, not
+corruption: those entries are deleted outright, exactly as before.
+
 Read-only tier
 --------------
 A store constructed with ``read_tier=PATH`` layers a **shared
@@ -88,6 +103,12 @@ __all__ = [
 #: changes shape or meaning; every existing entry is then invalidated
 #: on first contact.
 SCHEMA_VERSION = 1
+
+#: Subdirectory of the store root holding corrupt entries that were
+#: moved aside on read (see "Corruption and quarantine" above).  The
+#: maintenance scans all glob the flat root, so quarantined files are
+#: structurally invisible to loads, ``entries()`` and eviction.
+_QUARANTINE_DIR = "quarantine"
 
 #: Grace period before gc/purge may sweep uncommitted files (stray
 #: temp files and payloads without a manifest).  Younger ones may be
@@ -455,7 +476,7 @@ class ArtifactStore:
             # manifest is corruption (not an in-flight commit): a
             # wedged entry that save() would refuse forever.
             if mutate:
-                self._remove(key)
+                self._quarantine(key)
             return None
         if (
             manifest.get("schema_version") != SCHEMA_VERSION
@@ -468,8 +489,12 @@ class ArtifactStore:
             with np.load(payload_path, allow_pickle=False) as bundle:
                 value = codec.decode(bundle)
         except Exception:
+            # Truncated/undecodable payload, or a manifest whose
+            # payload vanished: corruption, not staleness — move the
+            # entry aside so the rebuild recommits cleanly and the
+            # bad bytes are never read again.
             if mutate:
-                self._remove(key)
+                self._quarantine(key)
             return None
         if mutate:
             now = time.time()
@@ -547,6 +572,68 @@ class ArtifactStore:
         finally:
             tmp.unlink(missing_ok=True)
 
+    # ------------------------------------------------------ quarantine
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / _QUARANTINE_DIR
+
+    def _quarantine(self, key: str) -> bool:
+        """Move a corrupt entry aside; ``True`` when it left the root.
+
+        The manifest moves first (uncommitting the entry, so a
+        concurrent reader can never see a quarantined payload behind a
+        live manifest).  A same-key re-corruption overwrites the
+        previous quarantined files — one corpse per key is plenty.
+        Falls back to plain removal when the quarantine directory
+        cannot be created (e.g. a read-only root reached via a bug):
+        the store must never retry-loop on bad bytes.
+        """
+        payload_path, manifest_path = self._paths(key)
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return self._remove(key)
+        moved = False
+        for path in (manifest_path, payload_path):
+            try:
+                if path.exists():
+                    os.replace(path, self.quarantine_root / path.name)
+                    moved = True
+            except OSError:
+                # Cross-device or permission trouble: delete instead
+                # of leaving the corrupt file live.
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+        return moved
+
+    def quarantined(self) -> list[Path]:
+        """Quarantined files, oldest first."""
+        if not self.quarantine_root.is_dir():
+            return []
+        return sorted(
+            (p for p in self.quarantine_root.iterdir() if p.is_file()),
+            key=lambda p: p.name,
+        )
+
+    def quarantine_counts(self) -> tuple[int, int]:
+        """``(entry count, total bytes)`` of the quarantine corner.
+
+        Entries are counted by distinct key (one manifest + payload
+        pair counts once).
+        """
+        files = self.quarantined()
+        nbytes = 0
+        keys = set()
+        for path in files:
+            keys.add(path.stem)
+            try:
+                nbytes += path.stat().st_size
+            except OSError:
+                pass
+        return len(keys), nbytes
+
     # ------------------------------------------------------ maintenance
     def entries(self) -> list[StoreEntry]:
         """All committed entries, most recently used first."""
@@ -614,14 +701,19 @@ class ArtifactStore:
         """Delete every committed entry; returns the count.
 
         Abandoned uncommitted files (strays older than the grace
-        period) are swept too; younger in-flight writes are left for
-        their writer.
+        period) are swept too — younger in-flight writes are left for
+        their writer — and the quarantine corner is emptied.
         """
         count = 0
         for entry in self.entries():
             if self._remove(entry.key):
                 count += 1
         self._sweep_uncommitted()
+        for path in self.quarantined():
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
         return count
 
     def _sweep_uncommitted(self) -> None:
@@ -656,6 +748,14 @@ class ArtifactStore:
                 orphaned = not payload.with_suffix(".json").exists()
                 if orphaned and payload.stat().st_mtime < deadline:
                     payload.unlink(missing_ok=True)
+            except OSError:
+                pass
+        for corpse in self.quarantined():
+            # Quarantined files are kept for inspection, but only for
+            # the grace period — gc bounds the corner's growth.
+            try:
+                if corpse.stat().st_mtime < deadline:
+                    corpse.unlink(missing_ok=True)
             except OSError:
                 pass
 

@@ -29,7 +29,11 @@ written by a thread pool instead of serially in the parent (file
 compression releases the GIL), with the manifest written only after
 every graph file landed.  In every case the result (records, order,
 cache key) is identical to the serial run — parallelism only changes
-wall-clock.
+wall-clock.  Every fan-out (groups and cache writes alike) runs on
+the shared fault-tolerant runner of :mod:`repro.pipeline.resilience`:
+failed groups retry with backoff, broken pools respawn, and with
+``resume``/``journal_dir`` completed groups journal to disk so an
+interrupted generation resumes bit-identically.
 
 The paper also removes degenerate inputs ("special care was taken to
 clean the experimental results from noise"); the corresponding filters
@@ -51,11 +55,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import time
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    as_completed,
-)
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -77,6 +76,14 @@ from repro.graph.unipartite import (
 )
 from repro.pipeline.engine import SimilarityEngine, SpecGroup, group_specs
 from repro.pipeline.graph_builder import matrix_to_graph
+from repro.pipeline.resilience import (
+    JournalCodec,
+    ResilientPool,
+    RetryPolicy,
+    RunJournal,
+    Task,
+    default_journal_dir,
+)
 from repro.pipeline.similarity_functions import (
     FAMILIES,
     enumerate_function_specs,
@@ -218,6 +225,9 @@ def generate_corpus(
     workers: int | None = None,
     artifact_store: str | Path | None = None,
     store_read_tier: str | Path | None = None,
+    resume: bool = False,
+    journal_dir: str | Path | None = None,
+    policy: RetryPolicy | None = None,
 ) -> list[GraphRecord]:
     """Generate (or load from cache) the graph corpus for ``config``.
 
@@ -225,6 +235,19 @@ def generate_corpus(
     overrides ``config.artifact_store`` and ``store_read_tier``
     overrides ``config.store_read_tier``; any combination produces
     the same corpus as a serial, store-less run.
+
+    Generation fans out through the shared fault-tolerant runner
+    (:mod:`repro.pipeline.resilience`): failed groups retry with
+    backoff, a broken pool respawns and resubmits only unfinished
+    groups, and repeated pool deaths degrade to inline serial
+    execution.  With ``journal_dir`` set (or ``resume=True``, which
+    falls back to the default journal under ``REPRO_CACHE``), every
+    completed group's records are committed to a
+    :class:`~repro.pipeline.resilience.RunJournal` as they land;
+    ``resume=True`` then skips journaled groups after an interruption
+    and the assembled corpus is bit-identical to an uninterrupted run
+    (graphs round-trip exactly through the npz codec).  The journal is
+    cleared on success and on any non-resume start.
     """
     if artifact_store is not None:
         config = dataclasses.replace(
@@ -242,38 +265,48 @@ def generate_corpus(
 
     n_workers = config.workers if workers is None else workers
     tasks = _corpus_tasks(config)
-    if n_workers > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_group_worker, (config, code, group))
-                for code, group in tasks
-            ]
-            if progress:
-                # Stream each group as it finishes (possibly out of
-                # submission order) so long parallel runs stay visible.
-                for future in as_completed(futures):
-                    for record in future.result():
-                        _print_progress(record)
-            chunks = [future.result() for future in futures]
-        records = [record for chunk in chunks for record in chunk]
-    else:
-        # Serial over groups: hand the workers budget to the pairwise
-        # kernels instead (block-level threads; results invariant).
-        records = []
-        engine: SimilarityEngine | None = None
-        current_code: str | None = None
-        for code, group in tasks:
-            if code != current_code:
-                engine = _make_engine(config, code, threads=n_workers)
-                current_code = code
-            chunk = _group_records(engine, group, config)
-            if progress:
-                for record in chunk:
-                    _print_progress(record)
-            records.extend(chunk)
+    journal = _make_run_journal(
+        journal_dir, resume, f"corpus-{config.cache_key()}"
+    )
+    use_pool = n_workers > 1 and len(tasks) > 1
+    # Serial over groups hands the workers budget to the pairwise
+    # kernels instead (block-level threads; results invariant).
+    threads = 1 if use_pool else max(n_workers, 1)
+    runner = ResilientPool(
+        n_workers if use_pool else 0,
+        kind="process",
+        policy=policy,
+        journal=journal,
+        codec=_CORPUS_JOURNAL_CODEC,
+        label="corpus",
+    )
+    on_result = None
+    if progress:
+        # Stream each group as it finishes (possibly out of submission
+        # order) so long parallel runs stay visible.
+        def on_result(key, chunk):
+            for record in chunk:
+                _print_progress(record)
+
+    chunks = runner.run(
+        [
+            Task(
+                key=f"{index:03d}:{code}",
+                fn=_group_worker,
+                args=((config, code, group, threads),),
+            )
+            for index, (code, group) in enumerate(tasks)
+        ],
+        on_result=on_result,
+    )
+    records = [record for chunk in chunks.values() for record in chunk]
 
     if cache_dir is not None:
         _store_cache(cache_dir, records, workers=n_workers)
+    if journal is not None:
+        # The run landed (and, with a cache_dir, persisted): the
+        # journal served its purpose.
+        journal.clear()
     return records
 
 
@@ -342,24 +375,61 @@ def _enumerate_kwargs(config: GraphCorpusConfig) -> dict:
 # handling consecutive groups of the same dataset regenerates nothing.
 # Single-slot on purpose: it bounds worker memory to one dataset's
 # artifacts regardless of how many datasets the corpus spans.
-_WORKER_STATE: dict[tuple[str, str], SimilarityEngine] = {}
+_WORKER_STATE: dict[tuple, SimilarityEngine] = {}
+
+
+def _engine_memo_key(config: GraphCorpusConfig, code: str, threads: int):
+    # cache_key() deliberately excludes the store/threads knobs (they
+    # never change results), but the *engine object* differs with
+    # them — the memo key must not conflate a store-backed engine with
+    # a store-less one.
+    return (
+        config.cache_key(),
+        code,
+        threads,
+        config.artifact_store,
+        config.store_read_tier,
+    )
 
 
 def _group_worker(
-    task: tuple[GraphCorpusConfig, str, SpecGroup],
+    task: tuple[GraphCorpusConfig, str, SpecGroup, int],
 ) -> list[GraphRecord]:
-    config, code, group = task
-    key = (config.cache_key(), code)
+    config, code, group, threads = task
+    key = _engine_memo_key(config, code, threads)
     engine = _WORKER_STATE.get(key)
     if engine is None:
         # Workers share the persistent store directory (not the store
         # object): every write is atomic and write-once, so racing
         # workers building the same artifact are safe — the first
         # commit wins and the others discard (see repro.pipeline.store).
-        engine = _make_engine(config, code)
+        engine = _make_engine(config, code, threads=threads)
         _WORKER_STATE.clear()
         _WORKER_STATE[key] = engine
     return _group_records(engine, group, config)
+
+
+def _make_run_journal(
+    journal_dir: str | Path | None, resume: bool, run_key: str
+) -> RunJournal | None:
+    """The corpus run journal, or ``None`` when journaling is off.
+
+    Journaling activates when the caller names a directory or asks to
+    resume (``resume`` without a directory uses the default journal
+    under ``REPRO_CACHE``); a plain library call stays journal-free so
+    tests and benches leave nothing behind.  A non-resume start clears
+    any stale journal of the same run key first.
+    """
+    if journal_dir is None and not resume:
+        return None
+    root = (
+        Path(journal_dir) if journal_dir is not None
+        else default_journal_dir()
+    )
+    journal = RunJournal(root, run_key)
+    if not resume:
+        journal.clear()
+    return journal
 
 
 def _group_records(
@@ -435,6 +505,44 @@ def _all_matches_zero(
     return not bool(np.isin(truth_keys, edge_keys).any())
 
 
+def _record_meta(record, filename: str) -> dict:
+    """One record's manifest/journal entry (everything but the graph)."""
+    return {
+        "file": filename,
+        "dataset": record.dataset,
+        "family": record.family,
+        "function": record.function,
+        "category": record.category,
+        "build_seconds": record.build_seconds,
+        "artifact_seconds": record.artifact_seconds,
+        "matrix_seconds": record.matrix_seconds,
+        "graph_seconds": record.graph_seconds,
+    }
+
+
+def _sharded_graph_writes(
+    cache_dir: Path, records, filenames, save, workers: int
+) -> None:
+    """Write every record's graph file, thread-sharded when asked.
+
+    ``np.savez_compressed`` spends its time in zlib, which releases
+    the GIL, so the writes thread well; the resilient runner retries a
+    transiently failed write instead of crashing the whole store step.
+    """
+    if workers > 1 and len(records) > 1:
+        writer = ResilientPool(workers, kind="thread", label="corpus-cache")
+        writer.run(
+            [
+                Task(key=filename, fn=save, args=(record.graph,
+                                                  cache_dir / filename))
+                for record, filename in zip(records, filenames)
+            ]
+        )
+    else:
+        for record, filename in zip(records, filenames):
+            save(record.graph, cache_dir / filename)
+
+
 def _store_cache(
     cache_dir: Path, records: list[GraphRecord], workers: int = 1
 ) -> None:
@@ -442,24 +550,12 @@ def _store_cache(
 
     Filenames follow the deterministic record order, so the graph
     files can be written in any order (and, with ``workers > 1``, by a
-    thread pool — ``np.savez_compressed`` spends its time in zlib,
-    which releases the GIL).  The manifest is written only after every
-    graph file landed, keeping a crashed run invisible to
-    :func:`_load_cached`.
+    thread pool).  The manifest is written only after every graph file
+    landed, keeping a crashed run invisible to :func:`_load_cached`.
     """
     cache_dir.mkdir(parents=True, exist_ok=True)
     filenames = [f"graph_{index:04d}.npz" for index in range(len(records))]
-    if workers > 1 and len(records) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            writes = [
-                pool.submit(save_graph, record.graph, cache_dir / filename)
-                for record, filename in zip(records, filenames)
-            ]
-            for write in writes:
-                write.result()
-    else:
-        for record, filename in zip(records, filenames):
-            save_graph(record.graph, cache_dir / filename)
+    _sharded_graph_writes(cache_dir, records, filenames, save_graph, workers)
     # Ground truth is identical for every graph of a dataset; store it
     # once per dataset instead of once per graph (the v1 format's
     # per-entry copies dominated the manifest size).
@@ -468,19 +564,7 @@ def _store_cache(
     for record, filename in zip(records, filenames):
         if record.dataset not in ground_truth:
             ground_truth[record.dataset] = sorted(record.ground_truth)
-        graphs.append(
-            {
-                "file": filename,
-                "dataset": record.dataset,
-                "family": record.family,
-                "function": record.function,
-                "category": record.category,
-                "build_seconds": record.build_seconds,
-                "artifact_seconds": record.artifact_seconds,
-                "matrix_seconds": record.matrix_seconds,
-                "graph_seconds": record.graph_seconds,
-            }
-        )
+        graphs.append(_record_meta(record, filename))
     manifest = {
         "version": _MANIFEST_VERSION,
         "ground_truth": ground_truth,
@@ -524,6 +608,74 @@ def _load_cached(cache_dir: Path) -> list[GraphRecord]:
             )
         )
     return records
+
+
+# ----------------------------------------------------------------------
+# Run-journal codecs: one generation group's records as one entry
+# ----------------------------------------------------------------------
+def _write_record_chunk(chunk, path: Path, save) -> None:
+    """Journal one group's records: per-record graph files plus a
+    ``records.json`` (same meta/ground-truth layout as the corpus
+    manifest, so the round-trip shares the manifest's bit-identity
+    guarantees)."""
+    ground_truth: dict[str, list] = {}
+    graphs = []
+    for index, record in enumerate(chunk):
+        filename = f"graph_{index:03d}.npz"
+        save(record.graph, path / filename)
+        if record.dataset not in ground_truth:
+            ground_truth[record.dataset] = sorted(record.ground_truth)
+        graphs.append(_record_meta(record, filename))
+    (path / "records.json").write_text(
+        json.dumps({"ground_truth": ground_truth, "graphs": graphs})
+    )
+
+
+def _read_record_chunk(path: Path, load, cls) -> list:
+    payload = json.loads((path / "records.json").read_text())
+    shared_truth = {
+        code: {tuple(pair) for pair in pairs}
+        for code, pairs in payload["ground_truth"].items()
+    }
+    return [
+        cls(
+            graph=load(path / entry["file"]),
+            dataset=entry["dataset"],
+            family=entry["family"],
+            function=entry["function"],
+            category=entry["category"],
+            ground_truth=shared_truth[entry["dataset"]],
+            build_seconds=entry["build_seconds"],
+            artifact_seconds=entry["artifact_seconds"],
+            matrix_seconds=entry["matrix_seconds"],
+            graph_seconds=entry["graph_seconds"],
+        )
+        for entry in payload["graphs"]
+    ]
+
+
+def _write_corpus_entry(chunk, path: Path) -> None:
+    _write_record_chunk(chunk, path, save_graph)
+
+
+def _read_corpus_entry(path: Path) -> list[GraphRecord]:
+    return _read_record_chunk(path, load_graph, GraphRecord)
+
+
+def _write_dirty_entry(chunk, path: Path) -> None:
+    _write_record_chunk(chunk, path, save_unipartite_graph)
+
+
+def _read_dirty_entry(path: Path) -> list[DirtyGraphRecord]:
+    return _read_record_chunk(path, load_unipartite_graph, DirtyGraphRecord)
+
+
+_CORPUS_JOURNAL_CODEC = JournalCodec(
+    write=_write_corpus_entry, read=_read_corpus_entry
+)
+_DIRTY_JOURNAL_CODEC = JournalCodec(
+    write=_write_dirty_entry, read=_read_dirty_entry
+)
 
 
 # ======================================================================
@@ -592,6 +744,9 @@ def generate_dirty_corpus(
     workers: int | None = None,
     artifact_store: str | Path | None = None,
     store_read_tier: str | Path | None = None,
+    resume: bool = False,
+    journal_dir: str | Path | None = None,
+    policy: RetryPolicy | None = None,
 ) -> list[DirtyGraphRecord]:
     """Generate (or load from cache) the dirty-ER self-join corpus.
 
@@ -602,6 +757,8 @@ def generate_dirty_corpus(
     clustering algorithms of :mod:`repro.extensions.dirty_er`.
     ``workers`` and ``artifact_store`` behave exactly as in
     :func:`generate_corpus`: wall-clock only, never results.
+    ``resume`` / ``journal_dir`` / ``policy`` are the resilience knobs
+    of :func:`generate_corpus`, under the ``dirty-`` run key.
     """
     if artifact_store is not None:
         config = dataclasses.replace(
@@ -619,45 +776,54 @@ def generate_dirty_corpus(
 
     n_workers = config.workers if workers is None else workers
     tasks = _corpus_tasks(config)
-    if n_workers > 1 and len(tasks) > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(_dirty_group_worker, (config, code, group))
-                for code, group in tasks
-            ]
-            if progress:
-                for future in as_completed(futures):
-                    for record in future.result():
-                        _print_progress(record)
-            chunks = [future.result() for future in futures]
-        records = [record for chunk in chunks for record in chunk]
-    else:
-        records = []
-        engine: SimilarityEngine | None = None
-        current_code: str | None = None
-        for code, group in tasks:
-            if code != current_code:
-                engine = _make_dirty_engine(config, code, threads=n_workers)
-                current_code = code
-            chunk = _dirty_group_records(engine, group, code)
-            if progress:
-                for record in chunk:
-                    _print_progress(record)
-            records.extend(chunk)
+    journal = _make_run_journal(
+        journal_dir, resume, f"dirty-{config.cache_key()}"
+    )
+    use_pool = n_workers > 1 and len(tasks) > 1
+    threads = 1 if use_pool else max(n_workers, 1)
+    runner = ResilientPool(
+        n_workers if use_pool else 0,
+        kind="process",
+        policy=policy,
+        journal=journal,
+        codec=_DIRTY_JOURNAL_CODEC,
+        label="dirty-corpus",
+    )
+    on_result = None
+    if progress:
+
+        def on_result(key, chunk):
+            for record in chunk:
+                _print_progress(record)
+
+    chunks = runner.run(
+        [
+            Task(
+                key=f"{index:03d}:{code}",
+                fn=_dirty_group_worker,
+                args=((config, code, group, threads),),
+            )
+            for index, (code, group) in enumerate(tasks)
+        ],
+        on_result=on_result,
+    )
+    records = [record for chunk in chunks.values() for record in chunk]
 
     if cache_dir is not None:
         _store_dirty_cache(cache_dir, records, workers=n_workers)
+    if journal is not None:
+        journal.clear()
     return records
 
 
 def _dirty_group_worker(
-    task: tuple[GraphCorpusConfig, str, SpecGroup],
+    task: tuple[GraphCorpusConfig, str, SpecGroup, int],
 ) -> list[DirtyGraphRecord]:
-    config, code, group = task
-    key = (config.cache_key(), _self_join_code(code))
+    config, code, group, threads = task
+    key = _engine_memo_key(config, _self_join_code(code), threads)
     engine = _WORKER_STATE.get(key)
     if engine is None:
-        engine = _make_dirty_engine(config, code)
+        engine = _make_dirty_engine(config, code, threads=threads)
         _WORKER_STATE.clear()
         _WORKER_STATE[key] = engine
     return _dirty_group_records(engine, group, code)
@@ -726,37 +892,15 @@ def _store_dirty_cache(
     :func:`_store_cache` (sharded graph writes, manifest last)."""
     cache_dir.mkdir(parents=True, exist_ok=True)
     filenames = [f"graph_{index:04d}.npz" for index in range(len(records))]
-    if workers > 1 and len(records) > 1:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            writes = [
-                pool.submit(
-                    save_unipartite_graph, record.graph, cache_dir / filename
-                )
-                for record, filename in zip(records, filenames)
-            ]
-            for write in writes:
-                write.result()
-    else:
-        for record, filename in zip(records, filenames):
-            save_unipartite_graph(record.graph, cache_dir / filename)
+    _sharded_graph_writes(
+        cache_dir, records, filenames, save_unipartite_graph, workers
+    )
     ground_truth: dict[str, list] = {}
     graphs = []
     for record, filename in zip(records, filenames):
         if record.dataset not in ground_truth:
             ground_truth[record.dataset] = sorted(record.ground_truth)
-        graphs.append(
-            {
-                "file": filename,
-                "dataset": record.dataset,
-                "family": record.family,
-                "function": record.function,
-                "category": record.category,
-                "build_seconds": record.build_seconds,
-                "artifact_seconds": record.artifact_seconds,
-                "matrix_seconds": record.matrix_seconds,
-                "graph_seconds": record.graph_seconds,
-            }
-        )
+        graphs.append(_record_meta(record, filename))
     manifest = {
         "version": _DIRTY_MANIFEST_VERSION,
         "kind": "dirty",

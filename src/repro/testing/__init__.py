@@ -1,0 +1,8 @@
+"""Testing utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness used by the resilience suite (``tests/pipeline/test_resilience.py``)
+and the CI ``faults`` job; it lives in the package (not in ``tests/``)
+because the injectors must be importable inside pool *worker
+processes*, which only see the installed package.
+"""

@@ -1,0 +1,141 @@
+"""Deterministic fault injection for the resilient execution layer.
+
+The :class:`~repro.pipeline.resilience.ResilientPool` task wrapper
+calls :func:`maybe_inject` (in the worker, right before the payload
+function) with the task's key and attempt number.  Faults are
+configured through the ``REPRO_FAULTS`` environment variable — the
+only channel that reaches pool worker *processes* — as a JSON spec
+built by :func:`fault_spec`::
+
+    REPRO_FAULTS = {
+        "parent_pid": <pid of the orchestrating process>,
+        "rules": [
+            {"match": "d1/group001", "action": "kill"},
+            {"match": ":jaccard",   "action": "delay", "seconds": 2.0},
+            {"match": "",           "action": "error", "attempts": [0]},
+        ],
+    }
+
+A rule fires when ``match`` is a substring of the task key and the
+attempt number is in ``attempts`` (default ``[0]``: first attempt
+only, so retries deterministically succeed; ``null`` = every
+attempt).  Actions:
+
+``kill``
+    ``os._exit(3)`` — the worker dies as if OOM-killed, breaking the
+    process pool.  Never fires in the parent process (``parent_pid``
+    guards it), so inline/serial fallback execution survives a
+    standing kill rule — which is exactly what the degradation tests
+    rely on.
+``delay``
+    ``time.sleep(seconds)`` — drives a task past its deadline.
+``error``
+    raises :class:`InjectedFault` — an ordinary task failure.
+
+With ``REPRO_FAULTS`` unset, :func:`maybe_inject` is one dict lookup.
+
+File-corruption helpers (:func:`truncate_file`, :func:`corrupt_json`,
+:func:`truncate_store_payload`) damage on-disk artifacts the way a
+torn write or bad disk would, for the store-quarantine tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "ACTIONS",
+    "ENV_VAR",
+    "InjectedFault",
+    "corrupt_json",
+    "fault_spec",
+    "inject",
+    "maybe_inject",
+    "truncate_file",
+    "truncate_store_payload",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every rule action :func:`maybe_inject` understands.
+ACTIONS = ("kill", "delay", "error")
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by an ``action: "error"`` rule."""
+
+
+def fault_spec(rules: list[dict], parent_pid: int | None = None) -> str:
+    """The ``REPRO_FAULTS`` value for ``rules``.
+
+    ``parent_pid`` defaults to the calling process, which is the
+    orchestrator in every test: ``kill`` rules then only ever fire in
+    pool workers, never in the process that set them.
+    """
+    return json.dumps(
+        {
+            "parent_pid": os.getpid() if parent_pid is None else parent_pid,
+            "rules": list(rules),
+        }
+    )
+
+
+def inject(monkeypatch, *rules: dict) -> None:
+    """Arm ``rules`` for the test via pytest's ``monkeypatch``."""
+    monkeypatch.setenv(ENV_VAR, fault_spec(list(rules)))
+
+
+def maybe_inject(key: str, attempt: int) -> None:
+    """Fire the first matching armed fault for this task attempt."""
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return
+    try:
+        spec = json.loads(raw)
+    except json.JSONDecodeError:
+        return
+    for rule in spec.get("rules", ()):
+        if rule.get("match", "") not in key:
+            continue
+        attempts = rule.get("attempts", [0])
+        if attempts is not None and attempt not in attempts:
+            continue
+        action = rule.get("action")
+        if action == "delay":
+            time.sleep(float(rule.get("seconds", 1.0)))
+        elif action == "error":
+            raise InjectedFault(
+                f"injected fault for task {key!r} (attempt {attempt})"
+            )
+        elif action == "kill":
+            if os.getpid() != spec.get("parent_pid"):
+                os._exit(3)
+        return
+
+
+# ----------------------------------------------------------------------
+# On-disk corruption helpers
+# ----------------------------------------------------------------------
+def truncate_file(path: str | Path, keep_bytes: int = 16) -> None:
+    """Truncate ``path`` to its first ``keep_bytes`` bytes — the shape
+    a torn write leaves behind."""
+    path = Path(path)
+    data = path.read_bytes()[:keep_bytes]
+    path.write_bytes(data)
+
+
+def corrupt_json(path: str | Path) -> None:
+    """Overwrite a JSON file with bytes that no longer parse."""
+    Path(path).write_text('{"corrupt": tru')
+
+
+def truncate_store_payload(store, index: int = 0, keep_bytes: int = 16):
+    """Truncate the payload of the ``index``-th committed entry of an
+    :class:`~repro.pipeline.store.ArtifactStore`; returns the entry."""
+    entries = store.entries()
+    entry = entries[index]
+    truncate_file(store.root / f"{entry.key}.npz", keep_bytes)
+    return entry

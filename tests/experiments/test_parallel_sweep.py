@@ -99,7 +99,9 @@ class TestRunMatchingSweeps:
         original = futures_module.ProcessPoolExecutor.submit
 
         def counting_submit(self, fn, *args, **kwargs):
-            submitted.append(fn.__name__)
+            # The resilient runner submits its _run_task wrapper; the
+            # payload function is the third wrapper argument.
+            submitted.append(args[2].__name__)
             return original(self, fn, *args, **kwargs)
 
         monkeypatch.setattr(

@@ -331,26 +331,80 @@ class TestInvalidation:
         key = store.entry_key(DATASET_KEY, cache_key)
         return store, cache_key, key
 
-    def test_corrupted_payload_is_deleted(self, tmp_path):
+    def test_corrupted_payload_is_quarantined(self, tmp_path):
         store, cache_key, key = self._committed(tmp_path)
         (tmp_path / f"{key}.npz").write_bytes(b"not an npz")
         assert store.load(DATASET_KEY, cache_key) is None
+        # Moved aside — gone from the root, preserved in quarantine.
         assert not (tmp_path / f"{key}.npz").exists()
         assert not (tmp_path / f"{key}.json").exists()
-        # The rebuild recommits over the invalidated entry.
+        assert (store.quarantine_root / f"{key}.npz").exists()
+        n_entries, nbytes = store.quarantine_counts()
+        assert n_entries == 1 and nbytes > 0
+        # The rebuild recommits over the quarantined entry.
         assert store.save(DATASET_KEY, cache_key, np.arange(4.0)) is True
+        value = store.load(DATASET_KEY, cache_key)
+        np.testing.assert_array_equal(value, np.arange(4.0))
 
-    def test_corrupt_manifest_is_invalidated_not_wedged(self, tmp_path):
+    def test_truncated_npz_is_quarantined_and_recomputed(self, tmp_path):
+        # A torn write / dying disk: the payload keeps its npz magic
+        # but loses its tail.  The read must quarantine and report a
+        # miss — never crash, never retry-loop on the bad bytes.
+        from repro.testing.faults import truncate_store_payload
+
+        store, cache_key, key = self._committed(tmp_path)
+        truncate_store_payload(store, keep_bytes=24)
+        assert store.load(DATASET_KEY, cache_key) is None
+        assert store.quarantine_counts()[0] == 1
+        assert store.load(DATASET_KEY, cache_key) is None  # still a miss
+        assert store.save(DATASET_KEY, cache_key, np.arange(4.0)) is True
+        np.testing.assert_array_equal(
+            store.load(DATASET_KEY, cache_key), np.arange(4.0)
+        )
+
+    def test_manifest_without_payload_is_quarantined(self, tmp_path):
+        # A committed manifest whose payload vanished (partial copy of
+        # the store directory, disk reclaim): without quarantining the
+        # manifest, save() would refuse the key forever.
+        store, cache_key, key = self._committed(tmp_path)
+        (tmp_path / f"{key}.npz").unlink()
+        assert store.load(DATASET_KEY, cache_key) is None
+        assert not (tmp_path / f"{key}.json").exists()
+        assert (store.quarantine_root / f"{key}.json").exists()
+        assert store.save(DATASET_KEY, cache_key, np.arange(4.0)) is True
+        np.testing.assert_array_equal(
+            store.load(DATASET_KEY, cache_key), np.arange(4.0)
+        )
+
+    def test_corrupt_manifest_is_quarantined_not_wedged(self, tmp_path):
         # Manifest writes are atomic, so unparseable JSON means a
-        # corrupted committed entry: it must be deleted and rebuilt,
-        # not treated as in-flight (which would wedge the key forever
-        # — save() refuses while the manifest exists).
+        # corrupted committed entry: it must be moved aside and
+        # rebuilt, not treated as in-flight (which would wedge the key
+        # forever — save() refuses while the manifest exists).
         store, cache_key, key = self._committed(tmp_path)
         (tmp_path / f"{key}.json").write_text("{not json")
         assert store.load(DATASET_KEY, cache_key) is None
         assert not (tmp_path / f"{key}.json").exists()
         assert not (tmp_path / f"{key}.npz").exists()
+        assert store.quarantine_counts()[0] == 1
         assert store.save(DATASET_KEY, cache_key, np.arange(4.0)) is True
+
+    def test_purge_clears_quarantine(self, tmp_path):
+        store, cache_key, key = self._committed(tmp_path)
+        (tmp_path / f"{key}.npz").write_bytes(b"junk")
+        assert store.load(DATASET_KEY, cache_key) is None
+        assert store.quarantine_counts()[0] == 1
+        store.purge()
+        assert store.quarantine_counts() == (0, 0)
+
+    def test_gc_sweeps_old_quarantined_files(self, tmp_path):
+        store, cache_key, key = self._committed(tmp_path)
+        (tmp_path / f"{key}.npz").write_bytes(b"junk")
+        assert store.load(DATASET_KEY, cache_key) is None
+        for corpse in store.quarantined():
+            os.utime(corpse, (1_000_000, 1_000_000))
+        store.gc()
+        assert store.quarantine_counts() == (0, 0)
 
     def test_gc_reclaims_old_corrupt_manifests(self, tmp_path):
         store, cache_key, key = self._committed(tmp_path)

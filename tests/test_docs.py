@@ -170,3 +170,43 @@ class TestCliReferenceDrift:
         documented = re.search(r"one of `([A-Z ]+)`", text)
         assert documented is not None
         assert documented.group(1).split() == sorted(ALGORITHM_CODES)
+
+
+class TestResilienceDocs:
+    """``docs/RESILIENCE.md`` must track the actual retry defaults."""
+
+    @pytest.fixture(scope="class")
+    def text(self):
+        path = REPO_ROOT / "docs" / "RESILIENCE.md"
+        assert path.exists(), "docs/RESILIENCE.md is missing"
+        return path.read_text()
+
+    def test_retry_policy_defaults_are_current(self, text):
+        from repro.pipeline.resilience import RetryPolicy
+
+        policy = RetryPolicy()
+        table = re.findall(r"^\| `(\w+)` \| `([^`]+)` \|", text, re.M)
+        documented = dict(table)
+        for knob in (
+            "max_retries",
+            "backoff_seconds",
+            "backoff_multiplier",
+            "backoff_jitter",
+            "deadline_seconds",
+            "max_pool_failures",
+            "poll_seconds",
+        ):
+            assert knob in documented, f"RESILIENCE.md lost the {knob} row"
+            actual = getattr(policy, knob)
+            assert documented[knob] == repr(actual).replace("'", ""), (
+                f"RESILIENCE.md documents {knob} = {documented[knob]}, "
+                f"code default is {actual!r}"
+            )
+
+    def test_documented_fault_actions_are_current(self, text):
+        from repro.testing import faults
+
+        for action in faults.ACTIONS:
+            assert f"`{action}`" in text, (
+                f"fault action {action!r} undocumented in RESILIENCE.md"
+            )
