@@ -109,6 +109,12 @@ def test_table6_corpus_build_attribution(
         matrix = sum(r.matrix_seconds for r in members)
         graph = sum(r.graph_seconds for r in members)
         total = sum(r.build_seconds for r in members)
+        dedup = np.mean(
+            [getattr(r, "dedup_ratio", 1.0) for r in members]
+        )
+        reduction = np.mean(
+            [getattr(r, "candidate_reduction", 1.0) for r in members]
+        )
         rows.append(
             [
                 dataset,
@@ -118,10 +124,15 @@ def test_table6_corpus_build_attribution(
                 f"{artifact:.2f}",
                 f"{matrix:.2f}",
                 f"{graph:.2f}",
+                f"{dedup:.2f}",
+                f"{reduction:.1f}x",
             ]
         )
     table = render_table(
-        ["ds", "family", "|G|", "total s", "artifacts", "matrix", "graph"],
+        [
+            "ds", "family", "|G|", "total s", "artifacts", "matrix",
+            "graph", "dedup", "cand-red",
+        ],
         rows,
         title="Corpus build cost attribution (per-stage seconds)",
     )

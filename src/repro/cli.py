@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the library's main entry points:
+Eight subcommands cover the library's main entry points:
 
 ``repro match``
     Run one algorithm on an edge-list CSV (``left,right,weight``) and
@@ -31,9 +31,16 @@ Seven subcommands cover the library's main entry points:
     Inspect (``ls``), shrink (``gc``) or empty (``purge``) the
     persistent cross-run artifact store that ``--artifact-store``
     points corpus generation at (:mod:`repro.pipeline.store`).
+``repro block``
+    Build and inspect a blocking candidate set for one dataset
+    profile: pair counts, reduction factor, ground-truth pair recall
+    and per-scheme statistics (:mod:`repro.pipeline.blocking`).
 
 ``--workers`` and ``--artifact-store`` only change wall-clock, never
-results.  The long-running subcommands (``sweep``, ``experiments``,
+results.  ``--blocking`` (on ``corpus``/``experiments``) is
+different: it routes generation through the sparse candidate-pair
+path and *changes the corpus* — edges outside the candidate set
+disappear — so it is part of the corpus cache key.  The long-running subcommands (``sweep``, ``experiments``,
 ``corpus``, ``dirty-er``) execute on the fault-tolerant runner of
 :mod:`repro.pipeline.resilience` and journal completed work as it
 lands; after a Ctrl-C or crash, ``--resume`` skips everything already
@@ -102,6 +109,23 @@ def _add_store_flags(parser, store_help: str) -> None:
     )
 
 
+def _blocking_spec(text: str) -> str:
+    """Argparse type for ``--blocking``: canonicalize at parse time."""
+    from repro.pipeline.blocking import canonical_blocking
+
+    try:
+        return canonical_blocking(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+_BLOCKING_HELP = (
+    "blocking scheme SCHEME[:PARAMS][+SCHEME...] — tokens, prefix, "
+    "minhash (e.g. tokens:max_df=0.2+minhash:bands=8); similarity is "
+    "computed only on candidate pairs"
+)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -150,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
             "reads a prebuilt graph, so no artifacts are stored"
         ),
     )
+    sweep.add_argument(
+        "--blocking", type=_blocking_spec, default=None,
+        help=(
+            "accepted for flag parity with corpus/experiments; sweep "
+            "reads a prebuilt graph, so no candidates are generated"
+        ),
+    )
     _add_resume_flag(sweep)
 
     experiments = commands.add_parser(
@@ -165,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for corpus generation and the matching "
             "sweep cells (default: serial)"
         ),
+    )
+    experiments.add_argument(
+        "--blocking", type=_blocking_spec, default=None,
+        help=_BLOCKING_HELP,
     )
     _add_store_flags(
         experiments,
@@ -187,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--progress", action="store_true",
         help="print every generated graph with its stage timings",
+    )
+    corpus.add_argument(
+        "--blocking", type=_blocking_spec, default=None,
+        help=_BLOCKING_HELP,
     )
     _add_store_flags(
         corpus,
@@ -233,6 +272,13 @@ def build_parser() -> argparse.ArgumentParser:
     store_ls = store_commands.add_parser(
         "ls", help="list store entries, most recently used first"
     )
+    store_ls.add_argument(
+        "--json", action="store_true",
+        help=(
+            "machine-readable listing: entries, totals and quarantine "
+            "counts as one JSON object"
+        ),
+    )
     store_gc = store_commands.add_parser(
         "gc", help="evict stale entries, then LRU entries over the budget"
     )
@@ -251,6 +297,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "REPRO_CACHE or .repro_cache)"
             ),
         )
+
+    block = commands.add_parser(
+        "block", help="build and inspect a blocking candidate set"
+    )
+    block.add_argument("dataset", help="profile code (d1 .. d10)")
+    block.add_argument(
+        "--blocking", type=_blocking_spec, default="tokens",
+        help=_BLOCKING_HELP + " (default: tokens)",
+    )
+    block.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale factor (default: catalog default)",
+    )
+    block.add_argument(
+        "--max-pairs", type=int, default=None,
+        help="cap on generated duplicate pairs (default: catalog default)",
+    )
+    block.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -378,6 +442,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
             "note: --artifact-store has no effect on sweep (the input "
             "graph is prebuilt; no artifacts are computed)"
         )
+    if args.blocking is not None:
+        print(
+            "note: --blocking has no effect on sweep (the input graph "
+            "is prebuilt; no candidates are generated)"
+        )
     graph = _read_graph(args.graph)
     truth = _read_truth(args.truth)
     if args.algorithm == "all":
@@ -447,6 +516,15 @@ def _command_experiments(args: argparse.Namespace) -> int:
     config = (
         DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
     )
+    if args.blocking is not None:
+        import dataclasses
+
+        config = dataclasses.replace(
+            config,
+            corpus=dataclasses.replace(
+                config.corpus, blocking=args.blocking
+            ),
+        )
     results = run_experiments(
         config,
         cache_dir=args.cache,
@@ -493,6 +571,10 @@ def _command_corpus(args: argparse.Namespace) -> int:
     config = (
         DEFAULT_BENCH_CONFIG if args.profile == "default" else SMOKE_CONFIG
     ).corpus
+    if args.blocking is not None:
+        import dataclasses
+
+        config = dataclasses.replace(config, blocking=args.blocking)
     cache = args.cache if args.cache is not None else default_cache_dir()
     records = generate_corpus(
         config,
@@ -516,6 +598,14 @@ def _command_corpus(args: argparse.Namespace) -> int:
         f"build cost {total:.1f}s = {artifact:.1f}s artifacts + "
         f"{matrix:.1f}s matrices + {graph:.1f}s graphs"
     )
+    if config.blocking is not None and records:
+        mean_reduction = sum(
+            r.candidate_reduction for r in records
+        ) / len(records)
+        print(
+            f"blocking {config.blocking}: mean candidate reduction "
+            f"{mean_reduction:.1f}x"
+        )
     if args.artifact_store is not None:
         from repro.pipeline.store import ArtifactStore
 
@@ -636,14 +726,45 @@ def _command_store(args: argparse.Namespace) -> int:
         else default_cache_dir() / "artifacts"
     )
     store = ArtifactStore(root)
-    if not store.root.is_dir():
+    json_mode = args.store_command == "ls" and getattr(args, "json", False)
+    if not store.root.is_dir() and not json_mode:
         # Most often a default-path mismatch (generation ran with an
         # explicit --artifact-store elsewhere); say so instead of
-        # silently reporting an empty store.
+        # silently reporting an empty store.  JSON mode keeps stdout
+        # machine-parseable and reports the root in the payload.
         print(
             f"note: {store.root} does not exist — no store there yet "
             "(pass --artifact-store to select another directory)"
         )
+    if json_mode:
+        import json as json_module
+
+        entries = store.entries()
+        n_quarantined, quarantine_bytes = store.quarantine_counts()
+        payload = {
+            "root": str(store.root),
+            "n_entries": len(entries),
+            "total_bytes": int(sum(e.nbytes for e in entries)),
+            "quarantine": {
+                "n_entries": n_quarantined,
+                "total_bytes": int(quarantine_bytes),
+            },
+            "entries": [
+                {
+                    "key": entry.key,
+                    "dataset": entry.dataset,
+                    "kind": entry.kind,
+                    "params": list(entry.params),
+                    "nbytes": int(entry.nbytes),
+                    "stale": entry.stale,
+                    "last_used": entry.last_used,
+                    "created": entry.created,
+                }
+                for entry in entries
+            ],
+        }
+        print(json_module.dumps(payload, indent=2, default=list))
+        return 0
     if args.store_command == "ls":
         entries = store.entries()
         rows = [
@@ -693,6 +814,38 @@ def _command_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_block(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_spec, generate_dataset
+    from repro.pipeline.blocking import build_candidate_set
+
+    dataset = generate_dataset(
+        dataset_spec(
+            args.dataset, scale=args.scale, max_pairs=args.max_pairs
+        ),
+        seed=args.seed,
+    )
+    candidates = build_candidate_set(
+        dataset.left.texts(), dataset.right.texts(), args.blocking
+    )
+    total = candidates.n_left * candidates.n_right
+    print(
+        f"{args.dataset}: {candidates.n_left} x {candidates.n_right} "
+        f"records, blocking {candidates.scheme}"
+    )
+    print(
+        f"candidates {candidates.n_pairs} / {total} dense pairs "
+        f"(reduction {candidates.reduction:.1f}x)"
+    )
+    print(
+        f"ground-truth pair recall "
+        f"{candidates.recall(dataset.ground_truth):.4f} "
+        f"({len(dataset.ground_truth)} truth pairs)"
+    )
+    for key, count in candidates.stats:
+        print(f"  {key}={count}")
+    return 0
+
+
 _COMMANDS = {
     "match": _command_match,
     "generate": _command_generate,
@@ -701,6 +854,7 @@ _COMMANDS = {
     "corpus": _command_corpus,
     "dirty-er": _command_dirty_er,
     "store": _command_store,
+    "block": _command_block,
 }
 
 

@@ -67,7 +67,13 @@ _RESULTS_NAME = "results.json"
 
 @dataclass
 class GraphRunResult:
-    """All algorithms' sweep results on one similarity graph."""
+    """All algorithms' sweep results on one similarity graph.
+
+    ``candidate_reduction`` carries the blocking layer's
+    dense-cells-per-candidate-pair factor from corpus generation
+    (1.0 for an unblocked corpus) so downstream reports can relate
+    matching quality to pair savings.
+    """
 
     dataset: str
     family: str
@@ -76,6 +82,7 @@ class GraphRunResult:
     n_edges: int
     normalized_size: float
     sweeps: dict[str, SweepResult] = field(default_factory=dict)
+    candidate_reduction: float = 1.0
 
     def best_f1(self, code: str) -> float:
         return self.sweeps[code].best_scores.f_measure
@@ -253,6 +260,9 @@ def run_matching_sweeps(
             n_edges=record.n_edges,
             normalized_size=record.graph.density,
             sweeps=sweeps,
+            candidate_reduction=getattr(
+                record, "candidate_reduction", 1.0
+            ),
         )
         for record, sweeps in zip(records, all_sweeps)
     ]
@@ -355,6 +365,7 @@ def _store_results(path: Path, results: list[GraphRunResult]) -> None:
                 "category": result.category,
                 "n_edges": result.n_edges,
                 "normalized_size": result.normalized_size,
+                "candidate_reduction": result.candidate_reduction,
                 "sweeps": sweeps_to_payload(result.sweeps),
             }
         )
@@ -374,6 +385,7 @@ def _load_results(path: Path) -> list[GraphRunResult]:
                 n_edges=entry["n_edges"],
                 normalized_size=entry["normalized_size"],
                 sweeps=sweeps_from_payload(entry["sweeps"]),
+                candidate_reduction=entry.get("candidate_reduction", 1.0),
             )
         )
     return results

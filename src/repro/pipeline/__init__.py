@@ -9,10 +9,15 @@ four families of similarity graphs the paper evaluates:
 * schema-based semantic — 2 embedding models x 3 measures per attribute;
 * schema-agnostic semantic — 2 embedding models x 3 measures.
 
-No blocking is applied: *all* entity pairs with similarity above zero
-become edges, exactly as in the paper's protocol.  The all-pairs
-computations run on the deduplicated, blocked, thread-parallel
-pairwise-kernel engine (:mod:`repro.pipeline.kernels`, consumed by
+By default no blocking is applied: *all* entity pairs with similarity
+above zero become edges, exactly as in the paper's protocol.  The
+optional blocking layer (:mod:`repro.pipeline.blocking`, enabled via
+``blocking=`` on the engine / corpus config) generates a deterministic
+:class:`~repro.pipeline.blocking.CandidateSet` and scores only those
+pairs — bit-identical values on every retained cell, but a sparse
+graph.  The all-pairs computations run on the deduplicated, blocked,
+thread-parallel pairwise-kernel engine
+(:mod:`repro.pipeline.kernels`, consumed by
 :mod:`repro.pipeline.batched_strings`), and corpus generation shares
 expensive artifacts across functions (see
 :mod:`repro.pipeline.engine`) — and, with an
@@ -20,15 +25,22 @@ expensive artifacts across functions (see
 and corpus configs — so the protocol stays laptop-feasible.
 """
 
+from repro.pipeline.blocking import (
+    CandidateSet,
+    build_candidate_set,
+    canonical_blocking,
+    parse_blocking_spec,
+)
 from repro.pipeline.engine import (
     ArtifactCache,
+    PairScores,
     SimilarityEngine,
     SpecGroup,
     group_specs,
 )
 from repro.pipeline.store import ArtifactStore, dataset_store_key
-from repro.pipeline.kernels import UniquePlan, kernel_threads
-from repro.pipeline.graph_builder import matrix_to_graph
+from repro.pipeline.kernels import SparsePlan, UniquePlan, kernel_threads
+from repro.pipeline.graph_builder import matrix_to_graph, pairs_to_graph
 from repro.pipeline.similarity_functions import (
     FAMILIES,
     SimilarityFunctionSpec,
@@ -51,6 +63,12 @@ __all__ = [
     "enumerate_function_specs",
     "compute_similarity_matrix",
     "matrix_to_graph",
+    "pairs_to_graph",
+    "CandidateSet",
+    "PairScores",
+    "build_candidate_set",
+    "canonical_blocking",
+    "parse_blocking_spec",
     "ArtifactCache",
     "ArtifactStore",
     "dataset_store_key",
@@ -63,5 +81,6 @@ __all__ = [
     "DirtyGraphRecord",
     "generate_dirty_corpus",
     "UniquePlan",
+    "SparsePlan",
     "kernel_threads",
 ]

@@ -46,13 +46,20 @@ import numpy as np
 from scipy import sparse
 
 from repro.pipeline.kernels import (
+    SparsePlan,
     UniquePlan,
+    edit_distance_pairs,
     edit_distance_unique,
     encode_strings,
+    jaro_pairs,
     jaro_unique,
+    lcs_subsequence_pairs,
     lcs_subsequence_unique,
+    lcs_substring_pairs,
     lcs_substring_unique,
+    monge_elkan_pairs,
     monge_elkan_unique,
+    needleman_wunsch_pairs,
     needleman_wunsch_unique,
     smith_waterman_grid,
 )
@@ -76,6 +83,7 @@ __all__ = [
     "token_measure_matrix",
     "TOKEN_MATRIX_MEASURES",
     "schema_based_matrix",
+    "schema_based_pairs",
     "jaro_matrix_legacy",
     "monge_elkan_matrix_legacy",
     "schema_based_matrix_legacy",
@@ -138,6 +146,19 @@ class StringBatch:
     def unique_empty_mask(self) -> np.ndarray:
         """True where either side of the *unique* pair is empty."""
         return _empty_mask(list(self.plan.lefts), list(self.plan.rights))
+
+    @cached_property
+    def unique_empty_sides(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-side emptiness of the unique values.
+
+        The sparse (blocked) path masks empty cells from these two 1-D
+        vectors instead of materializing the dense
+        :attr:`unique_empty_mask` outer product.
+        """
+        return (
+            np.array([not s for s in self.plan.lefts], dtype=bool),
+            np.array([not s for s in self.plan.rights], dtype=bool),
+        )
 
     @cached_property
     def unique_token_lists(
@@ -898,6 +919,200 @@ def schema_based_matrix(
     if function is not None:
         return function(lefts, rights, batch)
     return token_measure_matrix(lefts, rights, measure, batch)
+
+
+# ----------------------------------------------------------------------
+# Sparse (candidate-cell) scoring path
+# ----------------------------------------------------------------------
+def schema_based_pairs(
+    lefts: list[str],
+    rights: list[str],
+    measure: str,
+    sparse_plan: SparsePlan,
+    batch: StringBatch | None = None,
+) -> np.ndarray:
+    """Per-candidate-pair values of a schema-based measure.
+
+    Only the deduplicated candidate cells of ``sparse_plan`` are
+    scored; the dense grid is never materialized.  For every retained
+    pair ``k``, the returned value is **bitwise equal** to
+    ``schema_based_matrix(lefts, rights, measure, batch)[pair_left[k],
+    pair_right[k]]``: the alignment/Jaro cells run the same integer DP
+    restricted to candidate cells, the token/q-gram cells re-derive
+    the same exactly-representable integer sums by row gather, and
+    Monge-Elkan folds the shared Smith-Waterman grid in the same
+    position order (``tests/pipeline/test_blocking.py`` asserts the
+    equality property, ``benchmarks/bench_blocking.py`` guards it).
+    """
+    batch = _resolve_batch(lefts, rights, batch)
+    if sparse_plan.n_pairs == 0:
+        return np.zeros(0)
+    ci, cj = sparse_plan.cell_left, sparse_plan.cell_right
+    if measure in ("levenshtein", "damerau_levenshtein"):
+        cells = edit_distance_pairs(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            ci,
+            cj,
+            transpositions=(measure == "damerau_levenshtein"),
+        )
+    elif measure == "needleman_wunsch":
+        cells = needleman_wunsch_pairs(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            ci,
+            cj,
+        )
+    elif measure == "lcs_subsequence":
+        cells = lcs_subsequence_pairs(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            ci,
+            cj,
+        )
+    elif measure == "lcs_substring":
+        cells = lcs_substring_pairs(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            ci,
+            cj,
+        )
+    elif measure == "jaro":
+        cells = jaro_pairs(
+            *batch.unique_left_encoding,
+            *batch.unique_right_encoding,
+            ci,
+            cj,
+        )
+    elif measure == "qgrams":
+        cells = _qgram_pair_values(batch, ci, cj)
+    elif measure == "monge_elkan":
+        ids_left, ids_right, grid = batch.monge_elkan_grid
+        cells = np.clip(
+            monge_elkan_pairs(ids_left, ids_right, grid, ci, cj), 0.0, 1.0
+        )
+    else:
+        _check_token_measure(measure)
+        cells = _token_pair_values(measure, batch, ci, cj)
+    return sparse_plan.scatter(cells)
+
+
+def _zero_empty_cells(
+    values: np.ndarray,
+    batch: StringBatch,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+) -> None:
+    """Candidate-cell restriction of the empty-value convention."""
+    left_empty, right_empty = batch.unique_empty_sides
+    values[left_empty[cell_left] | right_empty[cell_right]] = 0.0
+
+
+def _qgram_pair_values(
+    batch: StringBatch, cell_left: np.ndarray, cell_right: np.ndarray
+) -> np.ndarray:
+    """Candidate-cell q-grams values via gathered profile rows.
+
+    Profile counts are small non-negative integers, so every min-sum
+    and total is exactly representable — the row-gathered sums equal
+    the dense :func:`_qgrams_values` cells bit for bit.
+    """
+    matrix_left, matrix_right = batch.unique_qgram_sparse
+    gathered_left = matrix_left[cell_left]
+    gathered_right = matrix_right[cell_right]
+    minimum = np.asarray(
+        gathered_left.minimum(gathered_right).sum(axis=1)
+    ).ravel()
+    sums_left = matrix_left.sum(axis=1).A1
+    sums_right = matrix_right.sum(axis=1).A1
+    total = sums_left[cell_left] + sums_right[cell_right]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        values = np.where(total > 0, 2.0 * minimum / total, 0.0)
+    _zero_empty_cells(values, batch, cell_left, cell_right)
+    return np.clip(values, 0.0, 1.0)
+
+
+def _token_pair_values(
+    measure: str,
+    batch: StringBatch,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+) -> np.ndarray:
+    """Candidate-cell token-measure values via gathered count rows.
+
+    All intermediates (dots, intersections, min-sums, squared norms)
+    are integer-valued float64 below 2^53, hence exact however they
+    are summed — the per-cell formulas then perform the same scalar
+    IEEE operations as :func:`_token_measure_values`.
+    """
+    matrix_left, matrix_right = batch.unique_token_sparse
+    binary_left, binary_right = batch.unique_token_binary
+    bag_left, bag_right, set_left, set_right = batch.unique_token_sums
+    gathered_left = matrix_left[cell_left]
+    gathered_right = matrix_right[cell_right]
+
+    def dot_rows() -> np.ndarray:
+        return np.asarray(
+            gathered_left.multiply(gathered_right).sum(axis=1)
+        ).ravel()
+
+    def intersection_rows() -> np.ndarray:
+        return np.asarray(
+            binary_left[cell_left]
+            .multiply(binary_right[cell_right])
+            .sum(axis=1)
+        ).ravel()
+
+    def min_sum_rows() -> np.ndarray:
+        return np.asarray(
+            gathered_left.minimum(gathered_right).sum(axis=1)
+        ).ravel()
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if measure == "cosine_tokens":
+            norms_left = np.sqrt(
+                matrix_left.multiply(matrix_left).sum(axis=1)
+            ).A1
+            norms_right = np.sqrt(
+                matrix_right.multiply(matrix_right).sum(axis=1)
+            ).A1
+            denominator = norms_left[cell_left] * norms_right[cell_right]
+            values = np.where(
+                denominator > 0, dot_rows() / denominator, 0.0
+            )
+        elif measure == "euclidean_tokens":
+            sq_left = matrix_left.multiply(matrix_left).sum(axis=1).A1
+            sq_right = matrix_right.multiply(matrix_right).sum(axis=1).A1
+            squared = (
+                sq_left[cell_left] + sq_right[cell_right] - 2.0 * dot_rows()
+            )
+            distance = np.sqrt(np.maximum(squared, 0.0))
+            bound = np.sqrt(sq_left[cell_left] + sq_right[cell_right])
+            values = np.where(bound > 0, 1.0 - distance / bound, 0.0)
+        elif measure in ("block_distance", "simon_white"):
+            minimum = min_sum_rows()
+            total = bag_left[cell_left] + bag_right[cell_right]
+            values = np.where(total > 0, 2.0 * minimum / total, 0.0)
+        elif measure == "dice":
+            intersection = intersection_rows()
+            total = set_left[cell_left] + set_right[cell_right]
+            values = np.where(total > 0, 2.0 * intersection / total, 0.0)
+        elif measure == "overlap":
+            intersection = intersection_rows()
+            smaller = np.minimum(set_left[cell_left], set_right[cell_right])
+            values = np.where(smaller > 0, intersection / smaller, 0.0)
+        elif measure == "jaccard":
+            intersection = intersection_rows()
+            union = (
+                set_left[cell_left] + set_right[cell_right] - intersection
+            )
+            values = np.where(union > 0, intersection / union, 0.0)
+        else:  # generalized_jaccard
+            minimum = min_sum_rows()
+            maximum = bag_left[cell_left] + bag_right[cell_right] - minimum
+            values = np.where(maximum > 0, minimum / maximum, 0.0)
+    _zero_empty_cells(values, batch, cell_left, cell_right)
+    return np.clip(values, 0.0, 1.0)
 
 
 def schema_based_matrix_legacy(

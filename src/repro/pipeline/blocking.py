@@ -1,0 +1,534 @@
+"""Candidate-generation (blocking) schemes for the similarity pipeline.
+
+The corpus engine scores the full ``n x m`` cross product by default,
+exactly as in the paper's protocol.  This module provides the optional
+stage in front of it: three composable blocking schemes, each turning
+the two entity collections into a deterministic, seed-stable
+:class:`CandidateSet` — a sorted COO list of record pairs worth
+scoring — so the sparse scoring path
+(:class:`~repro.pipeline.kernels.SparsePlan` +
+:func:`~repro.pipeline.batched_strings.schema_based_pairs`) never
+materializes the dense grid.
+
+Schemes (composable with ``+``, union semantics):
+
+``tokens``
+    Token / q-gram inverted-index blocking.  Records sharing at least
+    one surviving token become candidates.  Tokens whose document
+    frequency exceeds ``max_df`` (fraction of all records) are dropped
+    as stop tokens before the join — deterministic pruning, no
+    sampling.  ``q=0`` blocks on word tokens, ``q>=2`` on padded
+    character q-grams.
+
+``prefix``
+    Prefix filtering with admissible upper bounds for the token-set
+    Jaccard similarity at threshold ``t``.  Each left record indexes
+    only its ``|x| - ceil(t*|x|) + 1`` globally rarest tokens; right
+    records probe with all of theirs.  If ``J(x, y) >= t`` then the
+    (integer) overlap is at least ``ceil(t*|x|)``, so one shared token
+    must land in the left prefix — the pair cannot be pruned.  A
+    second admissible bound, ``min(|x|,|y|) / max(|x|,|y|) >= t``,
+    discards length-incompatible survivors.
+
+``minhash``
+    MinHash-LSH banding.  Token sets are hashed with stable blake2b
+    digests, permuted by seeded wrap-around multiply-add hashing
+    (``perms`` permutations), and records whose signatures collide in
+    any of ``bands`` bands become candidates.  Fully reproducible for
+    a fixed ``seed``; no run-to-run randomness.
+
+Specs are strings — ``"tokens:max_df=0.2+minhash:bands=8,seed=7"`` —
+parsed by :func:`parse_blocking_spec` and canonicalized by
+:func:`canonical_blocking` so equivalent spellings share cache and
+:class:`~repro.pipeline.store.ArtifactStore` entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.textsim.tokenize import character_ngrams, tokens
+
+__all__ = [
+    "CandidateSet",
+    "SchemeSpec",
+    "build_candidate_set",
+    "canonical_blocking",
+    "parse_blocking_spec",
+]
+
+# Defaults per scheme; also the authoritative list of known parameters.
+_SCHEME_DEFAULTS: dict[str, dict[str, float | int]] = {
+    "tokens": {"max_df": 0.5, "q": 0},
+    "prefix": {"threshold": 0.4},
+    "minhash": {"bands": 16, "perms": 64, "seed": 42},
+}
+
+_INT_PARAMS = {"q", "bands", "perms", "seed"}
+
+# Admissibility epsilon: thresholds only ever get *more* permissive,
+# never less, so float rounding can not prune a qualifying pair.
+_EPS = 1e-9
+
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One parsed blocking scheme with fully-resolved parameters."""
+
+    name: str
+    params: tuple[tuple[str, float | int], ...]
+
+    def param(self, key: str) -> float | int:
+        return dict(self.params)[key]
+
+    @property
+    def canonical(self) -> str:
+        parts = ",".join(f"{k}={v:g}" for k, v in self.params)
+        return f"{self.name}:{parts}" if parts else self.name
+
+
+def parse_blocking_spec(text: str) -> tuple[SchemeSpec, ...]:
+    """Parse ``scheme[:k=v,...][+scheme...]`` into resolved specs.
+
+    Unknown schemes or parameters raise :class:`ValueError`; omitted
+    parameters take the documented defaults.  The returned tuple is
+    sorted by canonical form (union is commutative) and de-duplicated.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ValueError("blocking spec must be a non-empty string")
+    specs = []
+    for chunk in text.split("+"):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ValueError(f"empty scheme in blocking spec {text!r}")
+        name, _, tail = chunk.partition(":")
+        name = name.strip().lower()
+        if name not in _SCHEME_DEFAULTS:
+            known = ", ".join(sorted(_SCHEME_DEFAULTS))
+            raise ValueError(
+                f"unknown blocking scheme {name!r} (known: {known})"
+            )
+        params = dict(_SCHEME_DEFAULTS[name])
+        if tail.strip():
+            for pair in tail.split(","):
+                key, sep, value = pair.partition("=")
+                key = key.strip().lower()
+                if not sep or key not in params:
+                    known = ", ".join(sorted(params))
+                    raise ValueError(
+                        f"bad parameter {pair.strip()!r} for scheme "
+                        f"{name!r} (known: {known})"
+                    )
+                try:
+                    params[key] = (
+                        int(value) if key in _INT_PARAMS else float(value)
+                    )
+                except ValueError:
+                    raise ValueError(
+                        f"non-numeric value {value.strip()!r} for "
+                        f"{name}:{key}"
+                    ) from None
+        _validate_params(name, params)
+        specs.append(
+            SchemeSpec(name, tuple(sorted(params.items())))
+        )
+    unique = sorted(set(specs), key=lambda spec: spec.canonical)
+    return tuple(unique)
+
+
+def _validate_params(name: str, params: dict[str, float | int]) -> None:
+    if name == "tokens":
+        if not 0.0 < params["max_df"] <= 1.0:
+            raise ValueError("tokens:max_df must be in (0, 1]")
+        if params["q"] < 0 or params["q"] == 1:
+            raise ValueError("tokens:q must be 0 (words) or >= 2")
+    elif name == "prefix":
+        if not 0.0 < params["threshold"] <= 1.0:
+            raise ValueError("prefix:threshold must be in (0, 1]")
+    elif name == "minhash":
+        if params["perms"] < 1 or params["bands"] < 1:
+            raise ValueError("minhash:perms and minhash:bands must be >= 1")
+        if params["perms"] % params["bands"]:
+            raise ValueError(
+                "minhash:perms must be divisible by minhash:bands"
+            )
+
+
+def canonical_blocking(text: str) -> str:
+    """The canonical spelling of a blocking spec string."""
+    return "+".join(spec.canonical for spec in parse_blocking_spec(text))
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """A deterministic sorted-COO list of candidate record pairs.
+
+    ``left``/``right`` are parallel ``intp`` arrays sorted
+    lexicographically by ``(left, right)`` with no duplicates, so two
+    builds of the same spec over the same collections compare equal
+    array-for-array.  ``stats`` records per-scheme raw pair counts
+    (before union/dedup) for inspection and reports.
+    """
+
+    n_left: int
+    n_right: int
+    scheme: str
+    left: np.ndarray = field(compare=False)
+    right: np.ndarray = field(compare=False)
+    stats: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def reduction(self) -> float:
+        """Dense cells per retained candidate pair (higher is better)."""
+        total = self.n_left * self.n_right
+        if self.n_pairs == 0:
+            return float(total) if total else 1.0
+        return total / self.n_pairs
+
+    def recall(self, ground_truth: set[tuple[int, int]]) -> float:
+        """Fraction of ground-truth pairs retained (1.0 when empty)."""
+        if not ground_truth:
+            return 1.0
+        truth = np.asarray(sorted(ground_truth), dtype=np.int64)
+        stride = np.int64(self.n_right)
+        folded_truth = truth[:, 0] * stride + truth[:, 1]
+        folded = self.left.astype(np.int64) * stride + self.right
+        hits = np.isin(folded_truth, folded).sum()
+        return float(hits) / len(ground_truth)
+
+    def union(self, other: "CandidateSet") -> "CandidateSet":
+        if (self.n_left, self.n_right) != (other.n_left, other.n_right):
+            raise ValueError("candidate sets cover different collections")
+        left = np.concatenate([self.left, other.left])
+        right = np.concatenate([self.right, other.right])
+        left, right = _dedupe_pairs(left, right, self.n_right)
+        return CandidateSet(
+            n_left=self.n_left,
+            n_right=self.n_right,
+            scheme=f"{self.scheme}+{other.scheme}",
+            left=left,
+            right=right,
+            stats=self.stats + other.stats,
+        )
+
+
+def build_candidate_set(
+    lefts: list[str], rights: list[str], spec: str
+) -> CandidateSet:
+    """Build the candidate set for ``spec`` over schema-agnostic texts."""
+    specs = parse_blocking_spec(spec)
+    n_left, n_right = len(lefts), len(rights)
+    parts: list[tuple[np.ndarray, np.ndarray]] = []
+    stats: list[tuple[str, int]] = []
+    for scheme in specs:
+        if scheme.name == "tokens":
+            pair = _token_pairs(lefts, rights, scheme)
+        elif scheme.name == "prefix":
+            pair = _prefix_pairs(lefts, rights, scheme)
+        else:
+            pair = _minhash_pairs(lefts, rights, scheme)
+        stats.append((f"{scheme.canonical}:pairs", int(pair[0].shape[0])))
+        parts.append(pair)
+    left = np.concatenate([p[0] for p in parts])
+    right = np.concatenate([p[1] for p in parts])
+    left, right = _dedupe_pairs(left, right, n_right)
+    return CandidateSet(
+        n_left=n_left,
+        n_right=n_right,
+        scheme="+".join(s.canonical for s in specs),
+        left=left,
+        right=right,
+        stats=tuple(stats),
+    )
+
+
+# ----------------------------------------------------------------------
+# shared machinery
+# ----------------------------------------------------------------------
+
+
+def _dedupe_pairs(
+    left: np.ndarray, right: np.ndarray, n_right: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort pairs lexicographically and drop duplicates."""
+    if left.shape[0] == 0:
+        empty = np.zeros(0, dtype=np.intp)
+        return empty, empty.copy()
+    folded = left.astype(np.int64) * np.int64(max(n_right, 1)) + right
+    folded = np.unique(folded)
+    left, right = np.divmod(folded, np.int64(max(n_right, 1)))
+    return left.astype(np.intp), right.astype(np.intp)
+
+
+def _record_tokens(texts: list[str], q: int) -> list[list[str]]:
+    """Sorted distinct blocking keys per record."""
+    if q:
+        return [
+            sorted(set(character_ngrams(text, q))) if text else []
+            for text in texts
+        ]
+    return [sorted(set(tokens(text))) for text in texts]
+
+
+def _vocabulary_ids(
+    left_tokens: list[list[str]], right_tokens: list[list[str]]
+) -> tuple[list[str], list[np.ndarray], list[np.ndarray]]:
+    """First-occurrence token vocabulary + per-record id arrays."""
+    vocabulary: dict[str, int] = {}
+    sides = []
+    for token_lists in (left_tokens, right_tokens):
+        ids = []
+        for record in token_lists:
+            ids.append(
+                np.asarray(
+                    [
+                        vocabulary.setdefault(token, len(vocabulary))
+                        for token in record
+                    ],
+                    dtype=np.int64,
+                )
+            )
+        sides.append(ids)
+    return list(vocabulary), sides[0], sides[1]
+
+
+def _flatten_ids(
+    per_record: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-record id arrays with parallel record indices."""
+    lengths = np.asarray([ids.shape[0] for ids in per_record], dtype=np.int64)
+    if lengths.sum() == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    flat = np.concatenate([ids for ids in per_record if ids.shape[0]])
+    records = np.repeat(np.arange(len(per_record), dtype=np.int64), lengths)
+    return flat, records
+
+
+def _join_postings(
+    left_keys: np.ndarray,
+    left_records: np.ndarray,
+    right_keys: np.ndarray,
+    right_records: np.ndarray,
+    n_keys: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (left record, right record) pairs sharing a key.
+
+    Inputs are parallel ``(key id, record)`` arrays per side.  Returns
+    raw pairs with duplicates; callers dedupe.  Fully vectorized: each
+    left entry is repeated once per right posting of its key, and the
+    matching right entries are gathered with a grouped arange.
+    """
+    empty = np.zeros(0, dtype=np.int64)
+    if left_keys.shape[0] == 0 or right_keys.shape[0] == 0:
+        return empty, empty.copy()
+    order = np.argsort(right_keys, kind="stable")
+    right_keys = right_keys[order]
+    right_records = right_records[order]
+    right_counts = np.bincount(right_keys, minlength=n_keys)
+    right_starts = np.concatenate(
+        [[0], np.cumsum(right_counts)[:-1]]
+    ).astype(np.int64)
+    lengths = right_counts[left_keys]
+    total = int(lengths.sum())
+    if total == 0:
+        return empty, empty.copy()
+    pair_left = np.repeat(left_records, lengths)
+    base = np.repeat(right_starts[left_keys], lengths)
+    starts = np.cumsum(lengths) - lengths
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+    pair_right = right_records[base + offsets]
+    return pair_left, pair_right
+
+
+# ----------------------------------------------------------------------
+# scheme: tokens (inverted index)
+# ----------------------------------------------------------------------
+
+
+def _token_pairs(
+    lefts: list[str], rights: list[str], scheme: SchemeSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    q = int(scheme.param("q"))
+    max_df = float(scheme.param("max_df"))
+    left_tokens = _record_tokens(lefts, q)
+    right_tokens = _record_tokens(rights, q)
+    vocabulary, left_ids, right_ids = _vocabulary_ids(
+        left_tokens, right_tokens
+    )
+    if not vocabulary:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    flat_left, rec_left = _flatten_ids(left_ids)
+    flat_right, rec_right = _flatten_ids(right_ids)
+    df = np.bincount(
+        np.concatenate([flat_left, flat_right]), minlength=len(vocabulary)
+    )
+    limit = max_df * (len(lefts) + len(rights)) + _EPS
+    keep = df <= limit
+    left_mask = keep[flat_left]
+    right_mask = keep[flat_right]
+    return _join_postings(
+        flat_left[left_mask],
+        rec_left[left_mask],
+        flat_right[right_mask],
+        rec_right[right_mask],
+        len(vocabulary),
+    )
+
+
+# ----------------------------------------------------------------------
+# scheme: prefix (admissible prefix filtering for token Jaccard)
+# ----------------------------------------------------------------------
+
+
+def _prefix_pairs(
+    lefts: list[str], rights: list[str], scheme: SchemeSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    threshold = float(scheme.param("threshold"))
+    left_tokens = _record_tokens(lefts, 0)
+    right_tokens = _record_tokens(rights, 0)
+    vocabulary, left_ids, right_ids = _vocabulary_ids(
+        left_tokens, right_tokens
+    )
+    empty = np.zeros(0, dtype=np.int64)
+    if not vocabulary:
+        return empty, empty.copy()
+    flat_left, _ = _flatten_ids(left_ids)
+    flat_right, _ = _flatten_ids(right_ids)
+    df = np.bincount(
+        np.concatenate([flat_left, flat_right]), minlength=len(vocabulary)
+    )
+    # Global rarity order: rarest-first, ties by token text so the
+    # order (and hence the candidate set) is fully deterministic.
+    order = sorted(range(len(vocabulary)), key=lambda i: (df[i], vocabulary[i]))
+    rank = np.zeros(len(vocabulary), dtype=np.int64)
+    rank[np.asarray(order, dtype=np.int64)] = np.arange(
+        len(vocabulary), dtype=np.int64
+    )
+    prefix_ids = []
+    for ids in left_ids:
+        size = ids.shape[0]
+        if size == 0:
+            prefix_ids.append(ids)
+            continue
+        # J(x, y) >= t implies integer overlap >= ceil(t*|x|); the
+        # epsilon only ever lengthens the prefix (more permissive).
+        required = max(int(math.ceil(threshold * size - _EPS)), 1)
+        count = size - required + 1
+        by_rarity = ids[np.argsort(rank[ids], kind="stable")]
+        prefix_ids.append(by_rarity[:count])
+    probe_left, rec_left = _flatten_ids(prefix_ids)
+    probe_right, rec_right = _flatten_ids(right_ids)
+    pair_left, pair_right = _join_postings(
+        probe_left, rec_left, probe_right, rec_right, len(vocabulary)
+    )
+    if pair_left.shape[0] == 0:
+        return pair_left, pair_right
+    sizes_left = np.asarray(
+        [ids.shape[0] for ids in left_ids], dtype=np.int64
+    )
+    sizes_right = np.asarray(
+        [ids.shape[0] for ids in right_ids], dtype=np.int64
+    )
+    size_x = sizes_left[pair_left]
+    size_y = sizes_right[pair_right]
+    # Length bound: J <= min/max, so min < t*max cannot reach t.
+    keep = np.minimum(size_x, size_y) >= (
+        threshold * np.maximum(size_x, size_y) - _EPS
+    )
+    return pair_left[keep], pair_right[keep]
+
+
+# ----------------------------------------------------------------------
+# scheme: minhash (LSH banding)
+# ----------------------------------------------------------------------
+
+
+def _token_hash(token: str) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+def _minhash_pairs(
+    lefts: list[str], rights: list[str], scheme: SchemeSpec
+) -> tuple[np.ndarray, np.ndarray]:
+    perms = int(scheme.param("perms"))
+    bands = int(scheme.param("bands"))
+    seed = int(scheme.param("seed"))
+    rows = perms // bands
+    left_tokens = _record_tokens(lefts, 0)
+    right_tokens = _record_tokens(rights, 0)
+    vocabulary, left_ids, right_ids = _vocabulary_ids(
+        left_tokens, right_tokens
+    )
+    empty = np.zeros(0, dtype=np.int64)
+    if not vocabulary:
+        return empty, empty.copy()
+    hashes = np.asarray(
+        [_token_hash(token) for token in vocabulary], dtype=np.uint64
+    )
+    rng = np.random.default_rng(seed)
+    high = np.iinfo(np.uint64).max
+    mul = rng.integers(1, high, size=perms, dtype=np.uint64) | np.uint64(1)
+    add = rng.integers(0, high, size=perms, dtype=np.uint64)
+    signatures = []
+    keeps = []
+    for ids in (left_ids, right_ids):
+        flat, _ = _flatten_ids(ids)
+        lengths = np.asarray([a.shape[0] for a in ids], dtype=np.int64)
+        keep = lengths > 0
+        keeps.append(keep)
+        if not keep.any():
+            signatures.append(np.zeros((0, perms), dtype=np.uint64))
+            continue
+        offsets = np.concatenate([[0], np.cumsum(lengths[keep])[:-1]])
+        values = hashes[flat]
+        signature = np.empty((int(keep.sum()), perms), dtype=np.uint64)
+        for p in range(perms):
+            # Wrap-around multiply-add hashing: deterministic and
+            # seed-stable; uint64 overflow is the intended mixing.
+            permuted = mul[p] * values + add[p]
+            signature[:, p] = np.minimum.reduceat(permuted, offsets)
+        signatures.append(signature)
+    sig_left, sig_right = signatures
+    keep_left, keep_right = keeps
+    rec_left = np.flatnonzero(keep_left).astype(np.int64)
+    rec_right = np.flatnonzero(keep_right).astype(np.int64)
+    if sig_left.shape[0] == 0 or sig_right.shape[0] == 0:
+        return empty, empty.copy()
+    pairs_left = [empty]
+    pairs_right = [empty]
+    for band in range(bands):
+        chunk = slice(band * rows, (band + 1) * rows)
+        key_left = _fold_band(sig_left[:, chunk])
+        key_right = _fold_band(sig_right[:, chunk])
+        buckets, inverse = np.unique(
+            np.concatenate([key_left, key_right]), return_inverse=True
+        )
+        inv_left = inverse[: key_left.shape[0]]
+        inv_right = inverse[key_left.shape[0]:]
+        pair_left, pair_right = _join_postings(
+            inv_left, rec_left, inv_right, rec_right, buckets.shape[0]
+        )
+        pairs_left.append(pair_left)
+        pairs_right.append(pair_right)
+    return np.concatenate(pairs_left), np.concatenate(pairs_right)
+
+
+def _fold_band(rows_chunk: np.ndarray) -> np.ndarray:
+    """Fold a band's signature rows into one bucket key per record."""
+    key = rows_chunk[:, 0].copy()
+    for column in range(1, rows_chunk.shape[1]):
+        key = (key * _MIX) ^ rows_chunk[:, column]
+    return key

@@ -33,7 +33,10 @@ Keys are flat tuples — ``("vector_model", unit, n, weighting)``,
 ``("string_unique_encoded" | "string_unique_tokens" |
 "string_token_grid", attribute)`` of the pairwise-kernel engine,
 ``("semantic_model", name)``, ``("text_embeddings", model, attribute)``
-(``attribute is None`` marks the schema-agnostic text source) — so the
+(``attribute is None`` marks the schema-agnostic text source), and —
+when blocking is configured — ``("candidate_set", spec)`` /
+``("sparse_plan", attribute, spec)`` where ``spec`` is the canonical
+blocking string (see :mod:`repro.pipeline.blocking`) — so the
 cache-hit tests can assert every key is built exactly once.  The cache
 holds derived state of one *generated* dataset only; anything that
 changes the generated data (dataset code, ``scale``, ``max_pairs``,
@@ -98,8 +101,9 @@ from repro.pipeline.batched_strings import (
     TOKEN_MATRIX_MEASURES,
     StringBatch,
     schema_based_matrix,
+    schema_based_pairs,
 )
-from repro.pipeline.kernels import kernel_threads
+from repro.pipeline.kernels import SparsePlan, kernel_threads
 from repro.pipeline.similarity_functions import (
     SimilarityFunctionSpec,
     graph_measure_matrix,
@@ -112,6 +116,7 @@ from repro.vectorspace import build_profile_space, build_vector_models
 
 __all__ = [
     "ArtifactCache",
+    "PairScores",
     "SimilarityEngine",
     "SpecGroup",
     "group_key",
@@ -250,6 +255,34 @@ class ArtifactCache:
             ("string_batch", attribute), lambda: StringBatch(lefts, rights)
         )
 
+    # ------------------------------------------------ candidate pairs
+    def candidate_set(self, blocking: str):
+        """The blocking candidate set for a (canonical) spec string.
+
+        Built over the schema-agnostic texts (blocking is record-level,
+        not attribute-level) and persisted through the store under the
+        content key ``("candidate_set", spec)``, so reruns and sibling
+        corpus configs sharing the generated dataset reuse it.
+        """
+        from repro.pipeline.blocking import build_candidate_set
+
+        def build():
+            lefts, rights = self.texts()
+            return build_candidate_set(lefts, rights, blocking)
+
+        return self.get(("candidate_set", blocking), build)
+
+    def sparse_plan(self, attribute: str, blocking: str) -> SparsePlan:
+        """Candidate-cell plan of one attribute's unique-value grid."""
+        def build():
+            candidates = self.candidate_set(blocking)
+            batch = self.string_batch(attribute)
+            return SparsePlan.build(
+                batch.plan, candidates.left, candidates.right
+            )
+
+        return self.get(("sparse_plan", attribute, blocking), build)
+
     # -------------------------------------------------- vector models
     def profile_space(self, unit: str, n: int):
         texts_left, texts_right = self.texts()
@@ -381,6 +414,32 @@ def _pool_token_embeddings(
     )
 
 
+@dataclass(frozen=True)
+class PairScores:
+    """Sparse scoring result: per-candidate-pair similarity values.
+
+    ``left``/``right``/``values`` are parallel arrays over the
+    candidate pairs (sorted lexicographically, the
+    :class:`~repro.pipeline.blocking.CandidateSet` order).  On every
+    retained pair the value is bitwise equal to the dense matrix cell;
+    ``fallback`` marks families scored by dense-then-gather (vector,
+    graph and semantic measures, whose BLAS summation orders cannot be
+    reproduced cell-wise) rather than the truly sparse kernel path.
+    """
+
+    n_left: int
+    n_right: int
+    left: np.ndarray
+    right: np.ndarray
+    values: np.ndarray
+    fallback: bool = False
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of scored candidate pairs."""
+        return int(self.values.size)
+
+
 class SimilarityEngine:
     """Computes similarity matrices through an :class:`ArtifactCache`.
 
@@ -390,6 +449,12 @@ class SimilarityEngine:
     once.  ``store``/``dataset_key`` (see :class:`ArtifactCache`)
     additionally persist the artifacts across runs; neither affects
     any produced matrix.
+
+    With ``blocking`` (a spec string for
+    :func:`~repro.pipeline.blocking.parse_blocking_spec`),
+    :meth:`compute_pairs_timed` scores only the candidate pairs of the
+    blocking scheme — the sparse path.  The dense :meth:`compute` path
+    is unaffected by the knob.
     """
 
     def __init__(
@@ -399,6 +464,7 @@ class SimilarityEngine:
         threads: int = 1,
         store=None,
         dataset_key: tuple | None = None,
+        blocking: str | None = None,
     ) -> None:
         self.dataset = dataset
         if cache is None:
@@ -411,6 +477,11 @@ class SimilarityEngine:
             )
         self.cache = cache
         self.threads = max(int(threads), 1)
+        if blocking is not None:
+            from repro.pipeline.blocking import canonical_blocking
+
+            blocking = canonical_blocking(blocking)
+        self.blocking = blocking
 
     def compute(self, spec: SimilarityFunctionSpec) -> np.ndarray:
         """The all-pairs similarity matrix of ``spec``."""
@@ -436,6 +507,33 @@ class SimilarityEngine:
         artifact_seconds = self.cache.miss_seconds - before
         return matrix, artifact_seconds, max(total - artifact_seconds, 0.0)
 
+    def compute_pairs(self, spec: SimilarityFunctionSpec) -> PairScores:
+        """Candidate-pair scores of ``spec`` under this engine's blocking."""
+        pairs, _, _ = self.compute_pairs_timed(spec)
+        return pairs
+
+    def compute_pairs_timed(
+        self, spec: SimilarityFunctionSpec
+    ) -> tuple[PairScores, float, float]:
+        """``(pairs, artifact_seconds, matrix_seconds)`` for ``spec``.
+
+        The sparse analogue of :meth:`compute_timed`: scores only the
+        candidate pairs produced by this engine's ``blocking`` spec.
+        Requires ``blocking`` to be configured.
+        """
+        if self.blocking is None:
+            raise ValueError(
+                "compute_pairs_timed requires a blocking= spec; "
+                "use compute_timed for the dense all-pairs path"
+            )
+        before = self.cache.miss_seconds
+        start = time.perf_counter()
+        with kernel_threads(self.threads):
+            pairs = self._dispatch_pairs(spec)
+        total = time.perf_counter() - start
+        artifact_seconds = self.cache.miss_seconds - before
+        return pairs, artifact_seconds, max(total - artifact_seconds, 0.0)
+
     def _dispatch(self, spec: SimilarityFunctionSpec) -> np.ndarray:
         if spec.family == "schema_based_syntactic":
             return self._schema_based(spec)
@@ -447,9 +545,30 @@ class SimilarityEngine:
             return self._semantic(spec, spec.details["attribute"])
         return self._semantic(spec, None)
 
-    def _schema_based(self, spec: SimilarityFunctionSpec) -> np.ndarray:
-        attribute = spec.details["attribute"]
-        measure = spec.details["measure"]
+    def _dispatch_pairs(self, spec: SimilarityFunctionSpec) -> PairScores:
+        candidates = self.cache.candidate_set(self.blocking)
+        if spec.family == "schema_based_syntactic":
+            values = self._schema_based_pairs(spec)
+            fallback = False
+        else:
+            # Vector/graph/semantic measures reduce over model
+            # dimensions with BLAS summation orders that a cell-wise
+            # kernel cannot reproduce bitwise — score dense, gather
+            # the retained cells.  Identical values by construction,
+            # but no memory reduction; flagged so callers can tell.
+            matrix = self._dispatch(spec)
+            values = np.ascontiguousarray(matrix[candidates.left, candidates.right])
+            fallback = True
+        return PairScores(
+            n_left=candidates.n_left,
+            n_right=candidates.n_right,
+            left=candidates.left,
+            right=candidates.right,
+            values=values,
+            fallback=fallback,
+        )
+
+    def _seed_schema_artifacts(self, attribute: str, measure: str):
         batch = self.cache.string_batch(attribute)
         # Materialize the measure's shared unique-universe artifacts
         # under the cache clock so their cost is attributed to the
@@ -480,7 +599,20 @@ class SimilarityEngine:
                 lambda: batch.monge_elkan_grid,
             )
             batch.seed_artifact("monge_elkan_grid", grid)
+        return batch
+
+    def _schema_based(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        attribute = spec.details["attribute"]
+        measure = spec.details["measure"]
+        batch = self._seed_schema_artifacts(attribute, measure)
         return schema_based_matrix(batch.lefts, batch.rights, measure, batch)
+
+    def _schema_based_pairs(self, spec: SimilarityFunctionSpec) -> np.ndarray:
+        attribute = spec.details["attribute"]
+        measure = spec.details["measure"]
+        batch = self._seed_schema_artifacts(attribute, measure)
+        sparse_plan = self.cache.sparse_plan(attribute, self.blocking)
+        return schema_based_pairs(batch.lefts, batch.rights, measure, sparse_plan, batch)
 
     def _vector(self, spec: SimilarityFunctionSpec) -> np.ndarray:
         measure = spec.details["measure"]

@@ -3,7 +3,9 @@
 Follows the paper's protocol: every pair with similarity strictly
 above zero becomes an edge (no blocking), and edge weights are min-max
 normalized into ``[0, 1]`` regardless of the similarity function that
-produced them (Section 5).
+produced them (Section 5).  :func:`pairs_to_graph` is the sparse
+analogue used by the blocking layer: same edge rule and normalization,
+applied to candidate-pair scores instead of a dense matrix.
 """
 
 from __future__ import annotations
@@ -13,7 +15,7 @@ import numpy as np
 from repro.graph.bipartite import SimilarityGraph
 from repro.graph.normalize import min_max_normalize
 
-__all__ = ["matrix_to_graph"]
+__all__ = ["matrix_to_graph", "pairs_to_graph"]
 
 
 def matrix_to_graph(
@@ -48,6 +50,44 @@ def matrix_to_graph(
         left,
         right,
         np.clip(weights, 0.0, 1.0),
+        name=name,
+        validate=False,
+    )
+    if metadata:
+        graph.metadata = dict(metadata)
+    if normalize:
+        graph = min_max_normalize(graph)
+    return graph
+
+
+def pairs_to_graph(
+    n_left: int,
+    n_right: int,
+    left: np.ndarray,
+    right: np.ndarray,
+    values: np.ndarray,
+    name: str = "",
+    normalize: bool = True,
+    metadata: dict | None = None,
+) -> SimilarityGraph:
+    """Build a :class:`SimilarityGraph` from candidate-pair scores.
+
+    Mirrors :func:`matrix_to_graph` on a sparse pair list: scores at
+    or below zero are dropped, retained weights are clipped and
+    (optionally) min-max normalized.  Raw scores equal the dense
+    matrix on every candidate cell, but min-max normalization runs
+    over the *retained* edges only — pairs pruned by blocking cannot
+    contribute a minimum, so normalized weights may legitimately
+    differ from the unblocked graph.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    keep = values > 0.0
+    graph = SimilarityGraph(
+        int(n_left),
+        int(n_right),
+        np.asarray(left)[keep],
+        np.asarray(right)[keep],
+        np.clip(values[keep], 0.0, 1.0),
         name=name,
         validate=False,
     )

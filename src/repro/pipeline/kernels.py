@@ -45,6 +45,7 @@ import numpy as np
 
 __all__ = [
     "UniquePlan",
+    "SparsePlan",
     "kernel_threads",
     "get_kernel_threads",
     "row_blocks",
@@ -57,6 +58,12 @@ __all__ = [
     "jaro_unique",
     "smith_waterman_grid",
     "monge_elkan_unique",
+    "edit_distance_pairs",
+    "needleman_wunsch_pairs",
+    "lcs_subsequence_pairs",
+    "lcs_substring_pairs",
+    "jaro_pairs",
+    "monge_elkan_pairs",
 ]
 
 
@@ -166,6 +173,74 @@ def _first_occurrence(
             first.append(i)
         inverse[i] = slot
     return list(positions), inverse, np.asarray(first, dtype=np.intp)
+
+
+@dataclass(frozen=True)
+class SparsePlan:
+    """Candidate-cell execution plan — the sparse sibling of
+    :class:`UniquePlan`.
+
+    Candidate record pairs (from a blocking scheme) are mapped through
+    the :class:`UniquePlan` inverses onto the unique-value grid and
+    deduplicated: each distinct ``(unique left, unique right)`` cell is
+    scored once by the ``*_pairs`` kernels, then :meth:`scatter` maps
+    per-cell values back to per-pair values.  Sharing the
+    :class:`UniquePlan` universe means the sparse path consumes the
+    exact same cached artifacts (encodings, token matrices, SW grids)
+    as the dense path — and therefore the exact same inputs cell for
+    cell, which is what makes the bit-identity guarantee composable.
+    """
+
+    plan: UniquePlan
+    pair_left: np.ndarray = field(compare=False)
+    pair_right: np.ndarray = field(compare=False)
+    cell_left: np.ndarray = field(compare=False)
+    cell_right: np.ndarray = field(compare=False)
+    pair_to_cell: np.ndarray = field(compare=False)
+
+    @classmethod
+    def build(
+        cls,
+        plan: UniquePlan,
+        pair_left: np.ndarray,
+        pair_right: np.ndarray,
+    ) -> "SparsePlan":
+        pair_left = np.asarray(pair_left, dtype=np.intp)
+        pair_right = np.asarray(pair_right, dtype=np.intp)
+        stride = np.int64(max(len(plan.rights), 1))
+        folded = (
+            plan.left_inverse[pair_left].astype(np.int64) * stride
+            + plan.right_inverse[pair_right]
+        )
+        cells, inverse = np.unique(folded, return_inverse=True)
+        cell_left, cell_right = np.divmod(cells, stride)
+        return cls(
+            plan=plan,
+            pair_left=pair_left,
+            pair_right=pair_right,
+            cell_left=cell_left.astype(np.intp),
+            cell_right=cell_right.astype(np.intp),
+            pair_to_cell=inverse.astype(np.intp),
+        )
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.pair_left.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.cell_left.shape[0])
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Scored cells per candidate pair — 1.0 means nothing repeats."""
+        if self.n_pairs == 0:
+            return 1.0
+        return self.n_cells / self.n_pairs
+
+    def scatter(self, cell_values: np.ndarray) -> np.ndarray:
+        """Per-pair values from per-cell values (pure gather — exact)."""
+        return cell_values[self.pair_to_cell]
 
 
 # ----------------------------------------------------------------------
@@ -824,4 +899,447 @@ def monge_elkan_unique(
             total += stacked[:, position]
         dense[bucket] = total / int(count)
     out[np.ix_(left_ids, right_ids)] = dense
+    return out
+
+
+# ----------------------------------------------------------------------
+# Pair-batched kernels (candidate cells only — the SparsePlan path)
+# ----------------------------------------------------------------------
+# Each ``*_pairs`` kernel is the per-cell restriction of its
+# ``*_unique`` sibling: the DP state collapses from ``(block, n_right,
+# width)`` slabs to ``(block_of_pairs, width)`` slabs, with the right
+# string gathered per pair.  A DP cell's value depends only on the two
+# strings of that cell, and both variants perform the same integer
+# operations followed by the same float formulas — so for every
+# requested cell ``(i, j)``, ``kernel_pairs(...)[k]`` is bitwise equal
+# to ``kernel_unique(...)[i, j]``.
+
+
+def _pair_mask_empty(
+    out: np.ndarray,
+    left_lengths: np.ndarray,
+    right_lengths: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+) -> None:
+    """Per-cell restriction of :func:`_mask_empty`."""
+    out[left_lengths[cell_left] == 0] = 0.0
+    out[right_lengths[cell_right] == 0] = 0.0
+
+
+def _pair_rows(lengths: np.ndarray, cell_left: np.ndarray) -> np.ndarray:
+    """Cell indices with a non-empty left string, longest-left first."""
+    lens = lengths[cell_left]
+    nonempty = np.flatnonzero(lens > 0)
+    order = np.argsort(-lens[nonempty], kind="stable")
+    return nonempty[order]
+
+
+def edit_distance_pairs(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+    transpositions: bool,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Candidate-cell (Damerau-)Levenshtein similarity values."""
+    n_cells = cell_left.shape[0]
+    out = np.zeros(n_cells)
+    if n_cells == 0 or right_codes.shape[0] == 0:
+        return out
+    max_len = right_codes.shape[1]
+    base_row = np.arange(max_len + 1, dtype=np.int32)
+    offsets = np.arange(max_len + 1, dtype=np.int32)
+    rows = _pair_rows(left_lengths, cell_left)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[cell_left[ids]]
+        codes_a = left_codes[cell_left[ids]]
+        codes_b = right_codes[cell_right[ids]]
+        blens = right_lengths[cell_right[ids]]
+        shape = (len(ids), max_len + 1)
+        previous = np.broadcast_to(base_row, shape).copy()
+        current = np.empty(shape, dtype=np.int32)
+        scratch = np.empty(shape, dtype=np.int32)
+        older = np.empty(shape, dtype=np.int32) if transpositions else None
+        cost = np.empty((len(ids), max_len), dtype=bool)
+        if transpositions and max_len >= 2:
+            swap_ok = np.empty((len(ids), max_len - 1), dtype=bool)
+            swap_prev = np.empty_like(swap_ok)
+        else:
+            swap_ok = swap_prev = None
+        prev_prev: np.ndarray | None = None
+        prev_ca: np.ndarray | None = None
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            tmp = scratch[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.not_equal(
+                codes_b[:n_active], ca[:, None], out=cost[:n_active]
+            )
+            np.add(prev[..., :-1], cost[:n_active], out=cur[..., 1:])
+            np.add(prev[..., 1:], 1, out=tmp[..., 1:])
+            np.minimum(cur[..., 1:], tmp[..., 1:], out=cur[..., 1:])
+            cur[..., 0] = step
+            if transpositions and prev_prev is not None and max_len >= 2:
+                ok = swap_ok[:n_active]
+                np.equal(codes_b[:n_active, :-1], ca[:, None], out=ok)
+                np.equal(
+                    codes_b[:n_active, 1:],
+                    prev_ca[:n_active, None],
+                    out=swap_prev[:n_active],
+                )
+                ok &= swap_prev[:n_active]
+                candidate = tmp[..., 2:]
+                np.add(prev_prev[:n_active, :-2], 1, out=candidate)
+                np.minimum(cur[..., 2:], candidate, out=candidate)
+                np.copyto(cur[..., 2:], candidate, where=ok)
+            _scan_min_inplace(cur, offsets)
+            if transpositions:
+                previous, current, older = current, older, previous
+                prev_prev = older
+            else:
+                previous, current = current, previous
+            prev_ca = ca
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                distances = np.take_along_axis(
+                    previous[first:last], blens[first:last, None], axis=1
+                )[:, 0]
+                longest = np.maximum(step, blens[first:last])
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0, 1.0 - distances / longest, 0.0
+                    )
+
+    run_blocks(row_blocks(len(rows), max_len + 1, threads), block, threads)
+    _pair_mask_empty(out, left_lengths, right_lengths, cell_left, cell_right)
+    return np.clip(out, 0.0, 1.0)
+
+
+def needleman_wunsch_pairs(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Candidate-cell Needleman-Wunsch similarity values."""
+    n_cells = cell_left.shape[0]
+    out = np.zeros(n_cells)
+    if n_cells == 0 or right_codes.shape[0] == 0:
+        return out
+    max_len = right_codes.shape[1]
+    gap = int(_NW_GAP)
+    base_row = gap * np.arange(max_len + 1, dtype=np.int32)
+    offsets = gap * np.arange(max_len + 1, dtype=np.int32)
+    rows = _pair_rows(left_lengths, cell_left)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[cell_left[ids]]
+        codes_a = left_codes[cell_left[ids]]
+        codes_b = right_codes[cell_right[ids]]
+        blens = right_lengths[cell_right[ids]]
+        shape = (len(ids), max_len + 1)
+        previous = np.broadcast_to(base_row, shape).copy()
+        current = np.empty(shape, dtype=np.int32)
+        scratch = np.empty(shape, dtype=np.int32)
+        cost = np.empty((len(ids), max_len), dtype=bool)
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            tmp = scratch[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.not_equal(
+                codes_b[:n_active], ca[:, None], out=cost[:n_active]
+            )
+            np.add(prev[..., :-1], cost[:n_active], out=cur[..., 1:])
+            np.add(prev[..., 1:], gap, out=tmp[..., 1:])
+            np.minimum(cur[..., 1:], tmp[..., 1:], out=cur[..., 1:])
+            cur[..., 0] = step * gap
+            _scan_min_inplace(cur, offsets)
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                costs = np.take_along_axis(
+                    previous[first:last], blens[first:last, None], axis=1
+                )[:, 0]
+                longest = np.maximum(step, blens[first:last])
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0,
+                        1.0 - costs / (_NW_GAP * longest),
+                        0.0,
+                    )
+
+    run_blocks(row_blocks(len(rows), max_len + 1, threads), block, threads)
+    _pair_mask_empty(out, left_lengths, right_lengths, cell_left, cell_right)
+    return np.clip(out, 0.0, 1.0)
+
+
+def lcs_subsequence_pairs(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Candidate-cell longest-common-subsequence similarity values."""
+    n_cells = cell_left.shape[0]
+    out = np.zeros(n_cells)
+    if n_cells == 0 or right_codes.shape[0] == 0:
+        return out
+    max_len = right_codes.shape[1]
+    rows = _pair_rows(left_lengths, cell_left)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[cell_left[ids]]
+        codes_a = left_codes[cell_left[ids]]
+        codes_b = right_codes[cell_right[ids]]
+        blens = right_lengths[cell_right[ids]]
+        shape = (len(ids), max_len + 1)
+        previous = np.zeros(shape, dtype=np.int32)
+        current = np.empty(shape, dtype=np.int32)
+        eq = np.empty((len(ids), max_len), dtype=bool)
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.equal(codes_b[:n_active], ca[:, None], out=eq[:n_active])
+            np.add(prev[..., :-1], eq[:n_active], out=cur[..., 1:])
+            np.maximum(prev[..., 1:], cur[..., 1:], out=cur[..., 1:])
+            cur[..., 0] = 0
+            np.maximum.accumulate(cur, axis=-1, out=cur)
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                lcs = np.take_along_axis(
+                    previous[first:last], blens[first:last, None], axis=1
+                )[:, 0]
+                longest = np.maximum(step, blens[first:last])
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0, lcs / longest, 0.0
+                    )
+
+    run_blocks(row_blocks(len(rows), max_len + 1, threads), block, threads)
+    _pair_mask_empty(out, left_lengths, right_lengths, cell_left, cell_right)
+    return np.clip(out, 0.0, 1.0)
+
+
+def lcs_substring_pairs(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Candidate-cell longest-common-substring similarity values."""
+    n_cells = cell_left.shape[0]
+    out = np.zeros(n_cells)
+    if n_cells == 0 or right_codes.shape[0] == 0:
+        return out
+    max_len = right_codes.shape[1]
+    rows = _pair_rows(left_lengths, cell_left)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[cell_left[ids]]
+        codes_a = left_codes[cell_left[ids]]
+        codes_b = right_codes[cell_right[ids]]
+        blens = right_lengths[cell_right[ids]]
+        shape = (len(ids), max_len + 1)
+        best = np.zeros(len(ids), dtype=np.int32)
+        previous = np.zeros(shape, dtype=np.int32)
+        current = np.empty(shape, dtype=np.int32)
+        eq = np.empty((len(ids), max_len), dtype=bool)
+        for step in range(1, int(lens[0]) + 1):
+            n_active = int(np.searchsorted(-lens, -step, side="right"))
+            prev = previous[:n_active]
+            cur = current[:n_active]
+            ca = codes_a[:n_active, step - 1]
+            np.equal(codes_b[:n_active], ca[:, None], out=eq[:n_active])
+            np.add(prev[..., :-1], 1, out=cur[..., 1:])
+            np.multiply(cur[..., 1:], eq[:n_active], out=cur[..., 1:])
+            cur[..., 0] = 0
+            np.maximum(
+                best[:n_active], cur.max(axis=-1), out=best[:n_active]
+            )
+            previous, current = current, previous
+            first, last = _finished_segment(lens, step)
+            if first < last:
+                longest = np.maximum(step, blens[first:last])
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    out[ids[first:last]] = np.where(
+                        longest > 0, best[first:last] / longest, 0.0
+                    )
+
+    run_blocks(row_blocks(len(rows), max_len + 1, threads), block, threads)
+    _pair_mask_empty(out, left_lengths, right_lengths, cell_left, cell_right)
+    return np.clip(out, 0.0, 1.0)
+
+
+def jaro_pairs(
+    left_codes: np.ndarray,
+    left_lengths: np.ndarray,
+    right_codes: np.ndarray,
+    right_lengths: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+    threads: int | None = None,
+) -> np.ndarray:
+    """Candidate-cell Jaro similarity values."""
+    n_cells = cell_left.shape[0]
+    out = np.zeros(n_cells)
+    if n_cells == 0 or right_codes.shape[0] == 0:
+        return out
+    max_right = right_codes.shape[1]
+    cols = np.arange(max_right)
+    rows = _pair_rows(left_lengths, cell_left)
+
+    def block(start: int, stop: int) -> None:
+        ids = rows[start:stop]
+        lens = left_lengths[cell_left[ids]]
+        codes_a = left_codes[cell_left[ids]]
+        codes_b = right_codes[cell_right[ids]]
+        blens = right_lengths[cell_right[ids]]
+        n_block = len(ids)
+        la = lens
+        lb = blens
+        window = np.maximum(np.maximum(la, lb) // 2 - 1, 0)
+        low = 0 - window
+        high = window.copy()
+        unflagged = np.ones((n_block, max_right), dtype=bool)
+        matched = np.zeros((n_block, int(lens[0])), dtype=bool)
+        cand = np.empty((n_block, max_right), dtype=bool)
+        winbuf = np.empty_like(cand)
+        cols2 = cols[None, :]
+        for i in range(int(lens[0])):
+            n_active = int(np.searchsorted(-lens, -(i + 1), side="right"))
+            ca = codes_a[:n_active, i]
+            step_cand = cand[:n_active]
+            step_win = winbuf[:n_active]
+            np.equal(codes_b[:n_active], ca[:, None], out=step_cand)
+            step_cand &= unflagged[:n_active]
+            np.greater_equal(cols2, low[:n_active, None], out=step_win)
+            step_cand &= step_win
+            np.less_equal(cols2, high[:n_active, None], out=step_win)
+            step_cand &= step_win
+            has = step_cand.any(axis=-1)
+            if has.any():
+                first_j = np.argmax(step_cand, axis=-1)
+                ai = np.flatnonzero(has)
+                unflagged[ai, first_j[ai]] = False
+                matched[ai, i] = True
+            low += 1
+            high += 1
+        b_flag = ~unflagged
+        common = b_flag.sum(axis=-1)
+        transpositions = _jaro_pair_transpositions(
+            codes_a, codes_b, matched, b_flag, common
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            sims = np.where(
+                common > 0,
+                (
+                    common / la
+                    + common / lb
+                    + (common - transpositions) / np.maximum(common, 1)
+                )
+                / 3.0,
+                0.0,
+            )
+        out[ids] = sims
+
+    run_blocks(row_blocks(len(rows), max(max_right, 1), threads), block, threads)
+    _pair_mask_empty(out, left_lengths, right_lengths, cell_left, cell_right)
+    return out
+
+
+def _jaro_pair_transpositions(
+    codes_a: np.ndarray,
+    codes_b: np.ndarray,
+    matched: np.ndarray,
+    b_flag: np.ndarray,
+    common: np.ndarray,
+) -> np.ndarray:
+    """Per-pair restriction of :func:`_jaro_transpositions`."""
+    n_block = common.shape[0]
+    max_common = int(common.max()) if common.size else 0
+    if max_common == 0:
+        return np.zeros(n_block, dtype=np.int64)
+    rank_a = np.cumsum(matched, axis=-1) - 1
+    rank_b = np.cumsum(b_flag, axis=-1) - 1
+    seq_a = np.full((n_block, max_common), -1, dtype=np.int32)
+    seq_b = np.full((n_block, max_common), -2, dtype=np.int32)
+    ai, ci = np.nonzero(matched)
+    seq_a[ai, rank_a[ai, ci]] = codes_a[ai, ci]
+    ai, cj = np.nonzero(b_flag)
+    seq_b[ai, rank_b[ai, cj]] = codes_b[ai, cj]
+    return ((seq_a != seq_b) & (seq_a != -1)).sum(axis=-1) // 2
+
+
+def monge_elkan_pairs(
+    left_token_ids: list[np.ndarray],
+    right_token_ids: list[np.ndarray],
+    grid: np.ndarray,
+    cell_left: np.ndarray,
+    cell_right: np.ndarray,
+) -> np.ndarray:
+    """Candidate-cell Monge-Elkan over the shared unique-token grid.
+
+    The per-token max is the same ``np.maximum.reduceat`` selection as
+    :func:`monge_elkan_unique`, restricted to the right values that
+    actually appear in a candidate cell, and the mean over a left
+    value's tokens is the same strict left fold in the same position
+    order — so each cell value is bitwise equal to the dense one.
+    """
+    n_cells = cell_left.shape[0]
+    out = np.zeros(n_cells)
+    if n_cells == 0:
+        return out
+    needed_right = np.unique(cell_right)
+    nonempty_right = np.asarray(
+        [j for j in needed_right if len(right_token_ids[j])], dtype=np.intp
+    )
+    if nonempty_right.shape[0] == 0:
+        return out
+    column_of = np.full(len(right_token_ids), -1, dtype=np.int64)
+    column_of[nonempty_right] = np.arange(nonempty_right.shape[0])
+    right_lists = [right_token_ids[j] for j in nonempty_right]
+    offsets = np.cumsum([0] + [len(ids) for ids in right_lists[:-1]])
+    concatenated = np.concatenate(right_lists)
+    best = np.maximum.reduceat(grid[:, concatenated], offsets, axis=1)
+
+    counts = np.asarray(
+        [len(left_token_ids[i]) for i in cell_left], dtype=np.int64
+    )
+    columns = column_of[cell_right]
+    valid = (counts > 0) & (columns >= 0)
+    for count in np.unique(counts[valid]):
+        bucket = np.flatnonzero(valid & (counts == count))
+        ids_matrix = np.stack(
+            [left_token_ids[cell_left[k]] for k in bucket]
+        )  # (bucket, count)
+        values = best[ids_matrix, columns[bucket, None]]
+        total = values[:, 0].copy()
+        for position in range(1, int(count)):
+            total += values[:, position]
+        out[bucket] = total / int(count)
     return out

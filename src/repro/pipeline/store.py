@@ -346,6 +346,40 @@ class _MongeElkanGridCodec:
         return ids_left, ids_right, arrays["grid"]
 
 
+class _CandidateSetCodec:
+    """:class:`~repro.pipeline.blocking.CandidateSet` — blocking output."""
+
+    def encode(self, value) -> dict:
+        stats_keys = np.asarray([k for k, _ in value.stats], dtype=np.str_)
+        stats_values = np.asarray(
+            [v for _, v in value.stats], dtype=np.int64
+        )
+        return {
+            "shape": np.asarray([value.n_left, value.n_right], dtype=np.int64),
+            "scheme": np.asarray([value.scheme], dtype=np.str_),
+            "left": np.asarray(value.left, dtype=np.int64),
+            "right": np.asarray(value.right, dtype=np.int64),
+            "stats_keys": stats_keys,
+            "stats_values": stats_values,
+        }
+
+    def decode(self, arrays):
+        from repro.pipeline.blocking import CandidateSet
+
+        stats = tuple(
+            (str(key), int(count))
+            for key, count in zip(arrays["stats_keys"], arrays["stats_values"])
+        )
+        return CandidateSet(
+            n_left=int(arrays["shape"][0]),
+            n_right=int(arrays["shape"][1]),
+            scheme=str(arrays["scheme"][0]),
+            left=arrays["left"].astype(np.intp),
+            right=arrays["right"].astype(np.intp),
+            stats=stats,
+        )
+
+
 #: Artifact kind (the first element of an ``ArtifactCache`` key) ->
 #: codec.  Only these kinds persist; everything else — cheap derived
 #: state, live model objects — stays in-memory per run.
@@ -359,6 +393,7 @@ STORE_KINDS = {
     "string_unique_encoded": _EncodingPairCodec(),
     "string_unique_tokens": _CsrPairCodec(),
     "string_token_grid": _MongeElkanGridCodec(),
+    "candidate_set": _CandidateSetCodec(),
 }
 
 

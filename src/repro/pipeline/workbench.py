@@ -75,7 +75,7 @@ from repro.graph.unipartite import (
     matrix_to_unipartite_graph,
 )
 from repro.pipeline.engine import SimilarityEngine, SpecGroup, group_specs
-from repro.pipeline.graph_builder import matrix_to_graph
+from repro.pipeline.graph_builder import matrix_to_graph, pairs_to_graph
 from repro.pipeline.resilience import (
     JournalCodec,
     ResilientPool,
@@ -111,8 +111,12 @@ class GraphCorpusConfig:
     ``max_pairs`` feed the dataset catalog; ``seed`` drives all
     randomness.  ``schema_based_measures`` / ``ngram_models`` etc. can
     shrink the taxonomy for quick runs (``None`` = the full paper
-    configuration).  ``workers`` parallelizes generation over a
-    process pool, ``artifact_store`` points generation at a
+    configuration).  ``blocking`` (a spec string for
+    :func:`~repro.pipeline.blocking.parse_blocking_spec`) routes
+    generation through the sparse candidate-pair path — it *changes
+    the corpus* (edges outside the candidate set disappear) and is
+    part of :meth:`cache_key`.  ``workers`` parallelizes generation
+    over a process pool, ``artifact_store`` points generation at a
     persistent cross-run :class:`~repro.pipeline.store.ArtifactStore`
     and ``store_read_tier`` layers a shared read-only store directory
     under it (tier hits never write anywhere — see
@@ -133,30 +137,35 @@ class GraphCorpusConfig:
     semantic_models: tuple[str, ...] | None = None
     semantic_measures: tuple[str, ...] | None = None
     max_attributes: int | None = None
+    blocking: str | None = None
     workers: int = 1
     artifact_store: str | None = None
     store_read_tier: str | None = None
 
     def cache_key(self) -> str:
         """A stable hash of every generation-relevant knob."""
-        payload = json.dumps(
-            {
-                "datasets": self.datasets,
-                "families": self.families,
-                "scale": self.scale,
-                "max_pairs": self.max_pairs,
-                "seed": self.seed,
-                "sbm": self.schema_based_measures,
-                "ngm": self.ngram_models,
-                "vm": self.vector_measures,
-                "gm": self.graph_measures,
-                "sm": self.semantic_models,
-                "sme": self.semantic_measures,
-                "ma": self.max_attributes,
-            },
-            sort_keys=True,
-            default=list,
-        )
+        payload_dict = {
+            "datasets": self.datasets,
+            "families": self.families,
+            "scale": self.scale,
+            "max_pairs": self.max_pairs,
+            "seed": self.seed,
+            "sbm": self.schema_based_measures,
+            "ngm": self.ngram_models,
+            "vm": self.vector_measures,
+            "gm": self.graph_measures,
+            "sm": self.semantic_models,
+            "sme": self.semantic_measures,
+            "ma": self.max_attributes,
+        }
+        if self.blocking is not None:
+            # Only present when set, so pre-blocking cache keys (and
+            # their on-disk corpora) stay valid.  Canonicalized so
+            # equivalent spellings share a corpus.
+            from repro.pipeline.blocking import canonical_blocking
+
+            payload_dict["blocking"] = canonical_blocking(self.blocking)
+        payload = json.dumps(payload_dict, sort_keys=True, default=list)
         import hashlib
 
         return hashlib.blake2b(
@@ -174,6 +183,13 @@ class GraphRecord:
     miss), ``matrix_seconds`` (the measure itself) and
     ``graph_seconds`` (matrix-to-graph conversion) attribute it per
     stage.  A warm artifact cache shows up as ``artifact_seconds == 0``.
+
+    ``dedup_ratio`` is the fraction of cells the unique-universe kernel
+    engine actually scored (``UniquePlan``/``SparsePlan.dedup_ratio``;
+    1.0 for families outside the deduplicated string path) and
+    ``candidate_reduction`` the dense-cells-per-candidate-pair factor
+    of the blocking scheme (1.0 without blocking) — together the
+    per-stage savings the progress line and runtime report surface.
     """
 
     graph: SimilarityGraph
@@ -186,6 +202,8 @@ class GraphRecord:
     artifact_seconds: float = 0.0
     matrix_seconds: float = 0.0
     graph_seconds: float = 0.0
+    dedup_ratio: float = 1.0
+    candidate_reduction: float = 1.0
 
     @property
     def n_edges(self) -> int:
@@ -212,6 +230,8 @@ class DirtyGraphRecord:
     artifact_seconds: float = 0.0
     matrix_seconds: float = 0.0
     graph_seconds: float = 0.0
+    dedup_ratio: float = 1.0
+    candidate_reduction: float = 1.0
 
     @property
     def n_edges(self) -> int:
@@ -228,13 +248,17 @@ def generate_corpus(
     resume: bool = False,
     journal_dir: str | Path | None = None,
     policy: RetryPolicy | None = None,
+    blocking: str | None = None,
 ) -> list[GraphRecord]:
     """Generate (or load from cache) the graph corpus for ``config``.
 
     ``workers`` overrides ``config.workers``, ``artifact_store``
     overrides ``config.artifact_store`` and ``store_read_tier``
     overrides ``config.store_read_tier``; any combination produces
-    the same corpus as a serial, store-less run.
+    the same corpus as a serial, store-less run.  ``blocking``
+    overrides ``config.blocking`` — unlike the others it changes the
+    produced corpus (and its cache key): similarity is computed only
+    on the scheme's candidate pairs.
 
     Generation fans out through the shared fault-tolerant runner
     (:mod:`repro.pipeline.resilience`): failed groups retry with
@@ -256,6 +280,15 @@ def generate_corpus(
     if store_read_tier is not None:
         config = dataclasses.replace(
             config, store_read_tier=str(store_read_tier)
+        )
+    if blocking is not None:
+        config = dataclasses.replace(config, blocking=str(blocking))
+    if config.blocking is not None:
+        # Validate (and fail fast on) a bad spec before any generation.
+        from repro.pipeline.blocking import canonical_blocking
+
+        config = dataclasses.replace(
+            config, blocking=canonical_blocking(config.blocking)
         )
     if cache_dir is not None:
         cache_dir = Path(cache_dir) / config.cache_key()
@@ -333,6 +366,7 @@ def _make_engine(
         dataset_key=dataset_store_key(
             code, config.scale, config.max_pairs, config.seed
         ),
+        blocking=config.blocking,
     )
 
 
@@ -443,17 +477,50 @@ def _group_records(
     records: list[GraphRecord] = []
     for spec in group.specs:
         start = time.perf_counter()
-        matrix, artifact_seconds, matrix_seconds = engine.compute_timed(spec)
-        graph_start = time.perf_counter()
-        graph = matrix_to_graph(
-            matrix,
-            name=f"{dataset.code}:{spec.name}",
-            metadata={
-                "dataset": dataset.code,
-                "family": spec.family,
-                "function": spec.name,
-            },
-        )
+        metadata = {
+            "dataset": dataset.code,
+            "family": spec.family,
+            "function": spec.name,
+        }
+        dedup_ratio = 1.0
+        candidate_reduction = 1.0
+        if config.blocking is None:
+            matrix, artifact_seconds, matrix_seconds = (
+                engine.compute_timed(spec)
+            )
+            graph_start = time.perf_counter()
+            graph = matrix_to_graph(
+                matrix,
+                name=f"{dataset.code}:{spec.name}",
+                metadata=metadata,
+            )
+        else:
+            pairs, artifact_seconds, matrix_seconds = (
+                engine.compute_pairs_timed(spec)
+            )
+            graph_start = time.perf_counter()
+            graph = pairs_to_graph(
+                pairs.n_left,
+                pairs.n_right,
+                pairs.left,
+                pairs.right,
+                pairs.values,
+                name=f"{dataset.code}:{spec.name}",
+                metadata={**metadata, "blocking": engine.blocking},
+            )
+            candidate_reduction = engine.cache.candidate_set(
+                engine.blocking
+            ).reduction
+        if spec.family == "schema_based_syntactic":
+            attribute = spec.details["attribute"]
+            if config.blocking is None:
+                dedup_ratio = engine.cache.string_batch(
+                    attribute
+                ).plan.dedup_ratio
+            else:
+                dedup_ratio = engine.cache.sparse_plan(
+                    attribute, engine.blocking
+                ).dedup_ratio
         graph_seconds = time.perf_counter() - graph_start
         elapsed = time.perf_counter() - start
         if _all_matches_zero(graph, dataset.ground_truth):
@@ -472,18 +539,28 @@ def _group_records(
                 artifact_seconds=artifact_seconds,
                 matrix_seconds=matrix_seconds,
                 graph_seconds=graph_seconds,
+                dedup_ratio=dedup_ratio,
+                candidate_reduction=candidate_reduction,
             )
         )
     return records
 
 
 def _print_progress(record: GraphRecord) -> None:
+    # Dirty records share this printer but carry no savings fields.
+    extras = ""
+    dedup = getattr(record, "dedup_ratio", 1.0)
+    reduction = getattr(record, "candidate_reduction", 1.0)
+    if dedup != 1.0:
+        extras += f" dedup={dedup:.2f}"
+    if reduction != 1.0:
+        extras += f" reduction={reduction:.1f}x"
     print(
         f"[workbench] {record.dataset} {record.function}: "
         f"m={record.n_edges} ({record.build_seconds:.2f}s = "
         f"{record.artifact_seconds:.2f}s artifacts + "
         f"{record.matrix_seconds:.2f}s matrix + "
-        f"{record.graph_seconds:.2f}s graph)"
+        f"{record.graph_seconds:.2f}s graph)" + extras
     )
 
 
@@ -517,6 +594,8 @@ def _record_meta(record, filename: str) -> dict:
         "artifact_seconds": record.artifact_seconds,
         "matrix_seconds": record.matrix_seconds,
         "graph_seconds": record.graph_seconds,
+        "dedup_ratio": record.dedup_ratio,
+        "candidate_reduction": record.candidate_reduction,
     }
 
 
@@ -605,6 +684,8 @@ def _load_cached(cache_dir: Path) -> list[GraphRecord]:
                 artifact_seconds=entry.get("artifact_seconds", 0.0),
                 matrix_seconds=entry.get("matrix_seconds", 0.0),
                 graph_seconds=entry.get("graph_seconds", 0.0),
+                dedup_ratio=entry.get("dedup_ratio", 1.0),
+                candidate_reduction=entry.get("candidate_reduction", 1.0),
             )
         )
     return records
@@ -649,6 +730,8 @@ def _read_record_chunk(path: Path, load, cls) -> list:
             artifact_seconds=entry["artifact_seconds"],
             matrix_seconds=entry["matrix_seconds"],
             graph_seconds=entry["graph_seconds"],
+            dedup_ratio=entry.get("dedup_ratio", 1.0),
+            candidate_reduction=entry.get("candidate_reduction", 1.0),
         )
         for entry in payload["graphs"]
     ]
@@ -759,7 +842,15 @@ def generate_dirty_corpus(
     :func:`generate_corpus`: wall-clock only, never results.
     ``resume`` / ``journal_dir`` / ``policy`` are the resilience knobs
     of :func:`generate_corpus`, under the ``dirty-`` run key.
+    Blocking is a bipartite-corpus feature; a config carrying a
+    ``blocking`` spec is rejected here.
     """
+    if config.blocking is not None:
+        raise ValueError(
+            "blocking is not supported for the dirty-ER self-join "
+            "corpus (candidate generation is defined over the two "
+            "clean collections)"
+        )
     if artifact_store is not None:
         config = dataclasses.replace(
             config, artifact_store=str(artifact_store)
@@ -931,6 +1022,8 @@ def _load_dirty_cached(cache_dir: Path) -> list[DirtyGraphRecord]:
                 artifact_seconds=entry.get("artifact_seconds", 0.0),
                 matrix_seconds=entry.get("matrix_seconds", 0.0),
                 graph_seconds=entry.get("graph_seconds", 0.0),
+                dedup_ratio=entry.get("dedup_ratio", 1.0),
+                candidate_reduction=entry.get("candidate_reduction", 1.0),
             )
         )
     return records
