@@ -3,7 +3,10 @@
 Part (i) prints the cached protocol's (edges, runtime) series binned
 per decade, per family — the paper's scatter.  Part (ii) benchmarks
 UMC on synthetic graphs of growing size to expose the near-linear
-scaling directly.
+scaling directly.  Part (iii) traces the blocking layer's
+recall-vs-reduction trade-off curve per scheme — the knob that
+decides how much of the scatter's x-axis survives candidate
+generation.
 """
 
 from __future__ import annotations
@@ -12,11 +15,27 @@ import numpy as np
 import pytest
 from conftest import save_report
 
+from repro.datasets import dataset_spec, generate_dataset
 from repro.evaluation.report import render_table
 from repro.experiments.efficiency import scalability_points
 from repro.graph import SimilarityGraph
 from repro.matching import UniqueMappingClustering
 from repro.matching.registry import PAPER_ALGORITHM_CODES
+from repro.pipeline.blocking import build_candidate_set
+
+# One curve per scheme family: each point dials the scheme's
+# aggressiveness knob from permissive to aggressive.
+BLOCKING_CURVES = {
+    "tokens": tuple(
+        f"tokens:max_df={max_df}" for max_df in (0.75, 0.5, 0.25, 0.1)
+    ),
+    "prefix": tuple(
+        f"prefix:threshold={t}" for t in (0.2, 0.4, 0.6, 0.8)
+    ),
+    "minhash": tuple(
+        f"minhash:bands={bands},perms=16" for bands in (16, 8, 4)
+    ),
+}
 
 
 def _random_graph(n_edges: int, seed: int = 0) -> SimilarityGraph:
@@ -64,4 +83,63 @@ def test_fig4_scalability_report(benchmark, experiment_results):
             )
         )
     save_report("fig4_scalability", "\n\n".join(sections))
+    assert sections
+
+
+def test_blocking_recall_reduction_curves(experiment_config):
+    """Recall-vs-reduction curve per blocking spec.
+
+    Aggregated over the active profile's datasets: reduction is
+    total dense pairs over total candidates, recall the fraction of
+    ground-truth pairs that survive.  Each curve must be coherent —
+    tightening a scheme's knob never lowers its reduction — and the
+    permissive end of every curve must keep recall above 0.9.
+    """
+    corpus = experiment_config.corpus
+    datasets = [
+        generate_dataset(
+            dataset_spec(
+                code, scale=corpus.scale, max_pairs=corpus.max_pairs
+            ),
+            seed=corpus.seed,
+        )
+        for code in corpus.datasets[:3]
+    ]
+
+    sections = []
+    for scheme, curve in BLOCKING_CURVES.items():
+        rows = []
+        reductions = []
+        for spec in curve:
+            dense = 0
+            pairs = 0
+            truth_total = 0
+            truth_hit = 0
+            for dataset in datasets:
+                candidates = build_candidate_set(
+                    dataset.left.texts(), dataset.right.texts(), spec
+                )
+                dense += candidates.n_left * candidates.n_right
+                pairs += candidates.n_pairs
+                truth_total += len(dataset.ground_truth)
+                truth_hit += round(
+                    candidates.recall(dataset.ground_truth)
+                    * len(dataset.ground_truth)
+                )
+            reduction = dense / max(pairs, 1)
+            recall = truth_hit / max(truth_total, 1)
+            reductions.append(reduction)
+            rows.append([spec, f"{reduction:.1f}", f"{recall:.4f}"])
+        assert reductions == sorted(reductions), scheme
+        assert float(rows[0][2]) >= 0.9, scheme
+        sections.append(
+            render_table(
+                ["blocking spec", "reduction (x)", "recall"],
+                rows,
+                title=(
+                    f"Figure 4 — blocking recall vs reduction ({scheme})"
+                ),
+            )
+        )
+    save_report("fig4_blocking_tradeoff", "\n\n".join(sections))
     assert sections

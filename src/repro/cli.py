@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the library's main entry points:
+Nine subcommands cover the library's main entry points:
 
 ``repro match``
     Run one algorithm on an edge-list CSV (``left,right,weight``) and
@@ -35,9 +35,17 @@ Eight subcommands cover the library's main entry points:
     Build and inspect a blocking candidate set for one dataset
     profile: pair counts, reduction factor, ground-truth pair recall
     and per-scheme statistics (:mod:`repro.pipeline.blocking`).
+``repro shard``
+    Inspect the sharded execution tier: ``repro shard plan`` prints
+    the deterministic shard plan (row ranges, estimated spill sizes,
+    chunk grid) a given memory budget produces for one dataset
+    profile (:mod:`repro.pipeline.sharding`).
 
 ``--workers`` and ``--artifact-store`` only change wall-clock, never
-results.  ``--blocking`` (on ``corpus``/``experiments``) is
+results; ``--max-memory`` (on ``corpus``/``experiments``) likewise
+only bounds peak memory — generation runs through the sharded
+execution tier and the corpus stays bit-identical.  ``--blocking``
+(on ``corpus``/``experiments``/``dirty-er``) is
 different: it routes generation through the sparse candidate-pair
 path and *changes the corpus* — edges outside the candidate set
 disappear — so it is part of the corpus cache key.  The long-running subcommands (``sweep``, ``experiments``,
@@ -125,6 +133,12 @@ _BLOCKING_HELP = (
     "computed only on candidate pairs"
 )
 
+_MAX_MEMORY_HELP = (
+    "peak-memory budget for corpus generation, e.g. 64M / 2G: "
+    "datasets run shard-by-shard through the sharded execution tier "
+    "(repro.pipeline.sharding) and the corpus stays bit-identical"
+)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -181,6 +195,13 @@ def build_parser() -> argparse.ArgumentParser:
             "reads a prebuilt graph, so no candidates are generated"
         ),
     )
+    sweep.add_argument(
+        "--max-memory", type=_size_budget, default=None,
+        help=(
+            "accepted for flag parity with corpus/experiments; sweep "
+            "reads a prebuilt graph, so nothing is sharded"
+        ),
+    )
     _add_resume_flag(sweep)
 
     experiments = commands.add_parser(
@@ -200,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--blocking", type=_blocking_spec, default=None,
         help=_BLOCKING_HELP,
+    )
+    experiments.add_argument(
+        "--max-memory", type=_size_budget, default=None,
+        help=_MAX_MEMORY_HELP,
     )
     _add_store_flags(
         experiments,
@@ -226,6 +251,10 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--blocking", type=_blocking_spec, default=None,
         help=_BLOCKING_HELP,
+    )
+    corpus.add_argument(
+        "--max-memory", type=_size_budget, default=None,
+        help=_MAX_MEMORY_HELP,
     )
     _add_store_flags(
         corpus,
@@ -257,6 +286,13 @@ def build_parser() -> argparse.ArgumentParser:
     dirty.add_argument(
         "--progress", action="store_true",
         help="print every generated graph and swept graph as it lands",
+    )
+    dirty.add_argument(
+        "--blocking", type=_blocking_spec, default=None,
+        help=(
+            _BLOCKING_HELP
+            + " (self-join: candidates over the union collection)"
+        ),
     )
     _add_store_flags(
         dirty,
@@ -315,6 +351,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on generated duplicate pairs (default: catalog default)",
     )
     block.add_argument("--seed", type=int, default=42)
+
+    shard = commands.add_parser(
+        "shard", help="inspect the sharded execution tier"
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+    shard_plan = shard_commands.add_parser(
+        "plan",
+        help="print the deterministic shard plan for one dataset profile",
+    )
+    shard_plan.add_argument("dataset", help="profile code (d1 .. d10)")
+    shard_plan.add_argument(
+        "--max-memory", type=_size_budget, default=None,
+        help="memory budget, e.g. 64M / 2G (default: a single shard)",
+    )
+    shard_plan.add_argument(
+        "--blocking", type=_blocking_spec, default=None,
+        help=_BLOCKING_HELP + " (shapes the candidate-density estimate)",
+    )
+    shard_plan.add_argument(
+        "--shards", type=int, default=None,
+        help="force an explicit shard count instead of deriving it "
+             "from the budget",
+    )
+    shard_plan.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale factor (default: catalog default)",
+    )
+    shard_plan.add_argument(
+        "--max-pairs", type=int, default=None,
+        help="cap on generated duplicate pairs (default: catalog default)",
+    )
+    shard_plan.add_argument("--seed", type=int, default=42)
     return parser
 
 
@@ -447,6 +515,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
             "note: --blocking has no effect on sweep (the input graph "
             "is prebuilt; no candidates are generated)"
         )
+    if args.max_memory is not None:
+        print(
+            "note: --max-memory has no effect on sweep (the input "
+            "graph is prebuilt; nothing is sharded)"
+        )
     graph = _read_graph(args.graph)
     truth = _read_truth(args.truth)
     if args.algorithm == "all":
@@ -532,6 +605,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         artifact_store=args.artifact_store,
         store_read_tier=_store_read_tier(args),
         resume=args.resume,
+        max_memory=args.max_memory,
     )
     rows = [
         [
@@ -585,6 +659,7 @@ def _command_corpus(args: argparse.Namespace) -> int:
         store_read_tier=_store_read_tier(args),
         resume=args.resume,
         journal_dir=cache / "journal",
+        max_memory=args.max_memory,
     )
     artifact = sum(r.artifact_seconds for r in records)
     matrix = sum(r.matrix_seconds for r in records)
@@ -652,6 +727,7 @@ def _command_dirty_er(args: argparse.Namespace) -> int:
         store_read_tier=_store_read_tier(args),
         resume=args.resume,
         journal_dir=cache / "journal",
+        blocking=args.blocking,
     )
     workers = args.workers if args.workers is not None else 1
     from repro.pipeline.resilience import RunJournal
@@ -846,6 +922,28 @@ def _command_block(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_shard(args: argparse.Namespace) -> int:
+    from repro.datasets import dataset_spec, generate_dataset
+    from repro.pipeline.sharding import plan_for_dataset
+
+    dataset = generate_dataset(
+        dataset_spec(
+            args.dataset, scale=args.scale, max_pairs=args.max_pairs
+        ),
+        seed=args.seed,
+    )
+    plan = plan_for_dataset(
+        dataset,
+        memory_budget=args.max_memory,
+        blocking=args.blocking,
+        n_shards=args.shards,
+    )
+    scheme = args.blocking if args.blocking is not None else "none"
+    print(f"{args.dataset}: shard plan (blocking {scheme})")
+    print(plan.describe())
+    return 0
+
+
 _COMMANDS = {
     "match": _command_match,
     "generate": _command_generate,
@@ -855,6 +953,7 @@ _COMMANDS = {
     "dirty-er": _command_dirty_er,
     "store": _command_store,
     "block": _command_block,
+    "shard": _command_shard,
 }
 
 

@@ -32,28 +32,66 @@ __all__ = [
 ]
 
 
+def _dense_row_chunk(n_right: int) -> int:
+    # Imported lazily: repro.pipeline modules import this module at
+    # load time, so a top-level import would be circular.
+    from repro.pipeline.kernels import row_chunk_size
+
+    return row_chunk_size(n_right)
+
+
 def cosine_similarity_matrix(
     left: np.ndarray, right: np.ndarray
 ) -> np.ndarray:
-    """Pairwise cosine of embedding rows, mapped to ``[0, 1]``."""
+    """Pairwise cosine of embedding rows, mapped to ``[0, 1]``.
+
+    The gemm runs in fixed-size row chunks (the shape-determined
+    :func:`~repro.pipeline.kernels.row_chunk_size`) so peak memory is
+    one chunk rather than the full grid.  Because every other step is
+    elementwise per row, a call over any chunk-aligned row slice of
+    ``left`` produces exactly the rows the full call would — the
+    bit-identity contract of the sharded execution tier.
+    """
     norms_left = np.linalg.norm(left, axis=1)
     norms_right = np.linalg.norm(right, axis=1)
     safe_left = np.where(norms_left > 0, norms_left, 1.0)
     safe_right = np.where(norms_right > 0, norms_right, 1.0)
-    cosine = (left / safe_left[:, None]) @ (right / safe_right[:, None]).T
-    cosine = np.clip(cosine, -1.0, 1.0)
-    return (cosine + 1.0) / 2.0
+    unit_left = left / safe_left[:, None]
+    unit_right_t = (right / safe_right[:, None]).T
+    n_left, n_right = len(left), len(right)
+    result = np.empty((n_left, n_right))
+    chunk = _dense_row_chunk(n_right)
+    for lo in range(0, n_left, chunk):
+        hi = min(lo + chunk, n_left)
+        cosine = np.clip(unit_left[lo:hi] @ unit_right_t, -1.0, 1.0)
+        result[lo:hi] = (cosine + 1.0) / 2.0
+    return result
 
 
 def euclidean_similarity_matrix(
     left: np.ndarray, right: np.ndarray
 ) -> np.ndarray:
-    """``1 / (1 + ||x - y||)`` for every embedding pair."""
+    """``1 / (1 + ||x - y||)`` for every embedding pair.
+
+    Chunked over rows exactly like :func:`cosine_similarity_matrix`,
+    with the same chunk-aligned row-slice bit-identity guarantee.
+    """
     sq_left = np.sum(left * left, axis=1)
     sq_right = np.sum(right * right, axis=1)
-    squared = sq_left[:, None] + sq_right[None, :] - 2.0 * (left @ right.T)
-    distance = np.sqrt(np.maximum(squared, 0.0))
-    return 1.0 / (1.0 + distance)
+    right_t = right.T
+    n_left, n_right = len(left), len(right)
+    result = np.empty((n_left, n_right))
+    chunk = _dense_row_chunk(n_right)
+    for lo in range(0, n_left, chunk):
+        hi = min(lo + chunk, n_left)
+        squared = (
+            sq_left[lo:hi, None]
+            + sq_right[None, :]
+            - 2.0 * (left[lo:hi] @ right_t)
+        )
+        distance = np.sqrt(np.maximum(squared, 0.0))
+        result[lo:hi] = 1.0 / (1.0 + distance)
+    return result
 
 
 #: Cap on ``pairs x tokens_a x tokens_b`` cells materialized per RWMD

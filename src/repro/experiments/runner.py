@@ -100,6 +100,7 @@ def run_experiments(
     store_read_tier: str | Path | None = None,
     resume: bool = False,
     policy: RetryPolicy | None = None,
+    max_memory: int | None = None,
 ) -> list[GraphRunResult]:
     """Execute (or load from cache) the full experimental protocol.
 
@@ -109,8 +110,10 @@ def run_experiments(
     ``artifact_store`` points corpus generation at a persistent
     cross-run artifact store (:mod:`repro.pipeline.store`) and
     ``store_read_tier`` layers a shared read-only store directory
-    under it.  None of the three has any effect on the results or on
-    any cache key.
+    under it.  ``max_memory`` (bytes) bounds corpus generation's peak
+    memory through the sharded execution tier
+    (:mod:`repro.pipeline.sharding`).  None of the four has any effect
+    on the results or on any cache key.
 
     Both stages journal completed work under ``<cache>/journal`` as it
     lands (see :mod:`repro.pipeline.resilience`); after an interrupted
@@ -140,6 +143,7 @@ def run_experiments(
         resume=resume,
         journal_dir=journal_root,
         policy=policy,
+        max_memory=max_memory,
     )
     n_workers = workers if workers is not None else config.corpus.workers
     sweep_journal = RunJournal(journal_root, f"sweeps-{config.cache_key()}")

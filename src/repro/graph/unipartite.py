@@ -41,6 +41,7 @@ __all__ = [
     "CompiledUnipartiteGraph",
     "UniEdgeSelection",
     "matrix_to_unipartite_graph",
+    "pairs_to_unipartite_graph",
 ]
 
 
@@ -480,6 +481,43 @@ def matrix_to_unipartite_graph(
     graph = UnipartiteGraph(
         matrix.shape[0], u, v, weights, name=name, validate=False
     )
+    if metadata:
+        graph.metadata = dict(metadata)
+    return graph
+
+
+def pairs_to_unipartite_graph(
+    n_nodes: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    values: np.ndarray,
+    name: str = "",
+    normalize: bool = True,
+    metadata: dict | None = None,
+) -> UnipartiteGraph:
+    """Build a :class:`UnipartiteGraph` from scored candidate pairs.
+
+    The self-join analogue of
+    :func:`~repro.pipeline.graph_builder.pairs_to_graph`: only the
+    strict upper triangle survives (``u < v`` — the diagonal and the
+    mirrored lower-triangle duplicates a symmetric blocking scheme
+    emits are dropped, matching the convention of
+    :func:`matrix_to_unipartite_graph`), positive scores are kept,
+    clipped to ``[0, 1]`` and min-max normalized.  Candidates sorted
+    by ``(u, v)`` reproduce the matrix path's row-major edge order,
+    so blocked self-join graphs deduplicate and order edges exactly
+    like their dense counterparts.
+    """
+    from repro.graph.normalize import min_max_normalize_array
+
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    keep = (u < v) & (values > 0.0)
+    u, v, weights = u[keep], v[keep], np.clip(values[keep], 0.0, 1.0)
+    if normalize and len(weights):
+        weights = min_max_normalize_array(weights)
+    graph = UnipartiteGraph(n_nodes, u, v, weights, name=name, validate=False)
     if metadata:
         graph.metadata = dict(metadata)
     return graph

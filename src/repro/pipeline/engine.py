@@ -86,7 +86,7 @@ from __future__ import annotations
 import time
 import warnings
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -103,7 +103,7 @@ from repro.pipeline.batched_strings import (
     schema_based_matrix,
     schema_based_pairs,
 )
-from repro.pipeline.kernels import SparsePlan, kernel_threads
+from repro.pipeline.kernels import SparsePlan, kernel_threads, row_chunk_size
 from repro.pipeline.similarity_functions import (
     SimilarityFunctionSpec,
     graph_measure_matrix,
@@ -465,6 +465,7 @@ class SimilarityEngine:
         store=None,
         dataset_key: tuple | None = None,
         blocking: str | None = None,
+        shard_plan=None,
     ) -> None:
         self.dataset = dataset
         if cache is None:
@@ -482,6 +483,7 @@ class SimilarityEngine:
 
             blocking = canonical_blocking(blocking)
         self.blocking = blocking
+        self.shard_plan = shard_plan
 
     def compute(self, spec: SimilarityFunctionSpec) -> np.ndarray:
         """The all-pairs similarity matrix of ``spec``."""
@@ -553,11 +555,12 @@ class SimilarityEngine:
         else:
             # Vector/graph/semantic measures reduce over model
             # dimensions with BLAS summation orders that a cell-wise
-            # kernel cannot reproduce bitwise — score dense, gather
-            # the retained cells.  Identical values by construction,
-            # but no memory reduction; flagged so callers can tell.
-            matrix = self._dispatch(spec)
-            values = np.ascontiguousarray(matrix[candidates.left, candidates.right])
+            # kernel cannot reproduce bitwise — score dense row
+            # chunks and gather the retained cells incrementally, so
+            # peak memory is one chunk block rather than the full
+            # grid.  Identical values by construction; flagged so
+            # callers can tell.
+            values = self._gather_chunked(spec, candidates)
             fallback = True
         return PairScores(
             n_left=candidates.n_left,
@@ -566,6 +569,279 @@ class SimilarityEngine:
             right=candidates.right,
             values=values,
             fallback=fallback,
+        )
+
+    def compute_sharded(
+        self,
+        spec: SimilarityFunctionSpec,
+        shard_plan=None,
+        spill_dir=None,
+        name: str = "",
+        metadata: dict | None = None,
+        normalize: bool = True,
+    ):
+        """The similarity graph of ``spec``, built shard by shard.
+
+        Streams the row-range shards of ``shard_plan`` (or the plan
+        passed to the constructor) through :meth:`shard_scores`,
+        spills each shard's edges to an npz file and merges them into
+        a :class:`~repro.graph.bipartite.SimilarityGraph` —
+        bit-identical to building the graph from :meth:`compute` /
+        :meth:`compute_pairs` and invariant to the shard count.  Peak
+        memory is one dense row chunk plus the merged edge arrays,
+        never the full matrix.
+        """
+        from repro.pipeline.sharding import ShardRun
+
+        plan = shard_plan if shard_plan is not None else self.shard_plan
+        if plan is None:
+            raise ValueError(
+                "compute_sharded requires a shard plan — pass "
+                "shard_plan= here or to the constructor"
+            )
+        return ShardRun(self, plan, spill_dir=spill_dir).run(
+            spec, name=name, metadata=metadata, normalize=normalize
+        )
+
+    def shard_scores(
+        self, spec: SimilarityFunctionSpec, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Raw positive-score edges of matrix rows ``[start, stop)``.
+
+        ``(left, right, values)`` with absolute row indices and raw
+        (unclipped) scores, in exactly the order the full-matrix graph
+        construction emits them — row-major nonzero order on the dense
+        path, candidate order (positive cells only) under blocking —
+        so concatenating consecutive shards reproduces the unsharded
+        edge stream bit-identically.
+        """
+        [(edges, _, _)] = self.shard_scores_group([spec], start, stop)
+        return edges
+
+    def shard_scores_group(
+        self,
+        specs,
+        start: int,
+        stop: int,
+    ) -> list[tuple[tuple[np.ndarray, np.ndarray, np.ndarray], float, float]]:
+        """Per-spec ``(edges, artifact_seconds, matrix_seconds)`` of a shard.
+
+        Iterates chunk-outer / spec-inner: every spec of an
+        artifact-sharing group scores one grid block before the next
+        block is touched, so block-level intermediates (string
+        batches, graph ratio sums) are built once per block and peak
+        memory stays at one dense chunk regardless of how many specs
+        ride along.
+        """
+        candidates = None
+        if self.blocking is not None:
+            candidates = self.cache.candidate_set(self.blocking)
+            n_left, n_right = candidates.n_left, candidates.n_right
+        else:
+            texts_left, texts_right = self.cache.texts()
+            n_left, n_right = len(texts_left), len(texts_right)
+        start = max(int(start), 0)
+        stop = min(int(stop), n_left)
+        accumulated: list[tuple[list, list, list]] = [
+            ([], [], []) for _ in specs
+        ]
+        artifact_seconds = [0.0] * len(specs)
+        matrix_seconds = [0.0] * len(specs)
+        with kernel_threads(self.threads):
+            chunk = row_chunk_size(n_right)
+            for g_lo, g_hi in _grid_blocks(start, stop, chunk, n_left):
+                row_lo, row_hi = max(start, g_lo), min(stop, g_hi)
+                if candidates is not None:
+                    pair_lo, pair_hi = np.searchsorted(
+                        candidates.left, [row_lo, row_hi]
+                    )
+                    if pair_lo == pair_hi:
+                        continue
+                scratch: dict = {}
+                for index, spec in enumerate(specs):
+                    before = self.cache.miss_seconds
+                    begin = time.perf_counter()
+                    block = self._dispatch_rows(spec, g_lo, g_hi, scratch)
+                    if candidates is not None:
+                        pair_left = candidates.left[pair_lo:pair_hi]
+                        pair_right = candidates.right[pair_lo:pair_hi]
+                        values = np.ascontiguousarray(
+                            block[pair_left - g_lo, pair_right]
+                        )
+                        keep = values > 0.0
+                        rows = pair_left[keep]
+                        cols = pair_right[keep]
+                        values = values[keep]
+                    else:
+                        sub = block[row_lo - g_lo : row_hi - g_lo]
+                        rows, cols = np.nonzero(sub > 0.0)
+                        values = sub[rows, cols]
+                        rows = rows + row_lo
+                    elapsed = time.perf_counter() - begin
+                    own = self.cache.miss_seconds - before
+                    artifact_seconds[index] += own
+                    matrix_seconds[index] += max(elapsed - own, 0.0)
+                    accumulated[index][0].append(rows)
+                    accumulated[index][1].append(cols)
+                    accumulated[index][2].append(values)
+        results = []
+        for (rows, cols, values), build, score in zip(
+            accumulated, artifact_seconds, matrix_seconds
+        ):
+            if rows:
+                edges = (
+                    np.concatenate(rows),
+                    np.concatenate(cols),
+                    np.concatenate(values),
+                )
+            else:
+                edges = (
+                    np.empty(0, dtype=np.intp),
+                    np.empty(0, dtype=np.intp),
+                    np.empty(0, dtype=np.float64),
+                )
+            results.append((edges, build, score))
+        return results
+
+    def _gather_chunked(
+        self, spec: SimilarityFunctionSpec, candidates
+    ) -> np.ndarray:
+        """Candidate-cell values of ``spec`` via chunked dense rows."""
+        values = np.empty(len(candidates.left), dtype=np.float64)
+        chunk = row_chunk_size(candidates.n_right)
+        for g_lo, g_hi in _grid_blocks(
+            0, candidates.n_left, chunk, candidates.n_left
+        ):
+            pair_lo, pair_hi = np.searchsorted(
+                candidates.left, [g_lo, g_hi]
+            )
+            if pair_lo == pair_hi:
+                continue
+            scratch: dict = {}
+            block = self._dispatch_rows(spec, g_lo, g_hi, scratch)
+            values[pair_lo:pair_hi] = block[
+                candidates.left[pair_lo:pair_hi] - g_lo,
+                candidates.right[pair_lo:pair_hi],
+            ]
+        return values
+
+    def _dispatch_rows(
+        self,
+        spec: SimilarityFunctionSpec,
+        start: int,
+        stop: int,
+        scratch: dict,
+    ) -> np.ndarray:
+        """Dense rows ``[start, stop)`` of ``spec``'s matrix.
+
+        Bitwise equal to ``self._dispatch(spec)[start:stop]`` when
+        ``[start, stop)`` is a block of the absolute row-chunk grid
+        (:func:`~repro.pipeline.kernels.row_chunk_size`): the string
+        kernels are per-pair exact, the vector/graph reductions are
+        row-local, and the semantic gemms are chunked on exactly that
+        grid.  ``scratch`` holds block-level intermediates shared by
+        sibling specs scoring the same block; callers discard it
+        between blocks to keep memory bounded.
+        """
+        if spec.family == "schema_based_syntactic":
+            return self._schema_based_rows(spec, start, stop, scratch)
+        if spec.family == "schema_agnostic_syntactic":
+            if spec.details["model"] == "vector":
+                return self._vector_rows(spec, start, stop)
+            return self._graph_rows(spec, start, stop, scratch)
+        if spec.family == "schema_based_semantic":
+            return self._semantic_rows(
+                spec, spec.details["attribute"], start, stop
+            )
+        return self._semantic_rows(spec, None, start, stop)
+
+    def _schema_based_rows(
+        self, spec: SimilarityFunctionSpec, start: int, stop: int, scratch: dict
+    ) -> np.ndarray:
+        attribute = spec.details["attribute"]
+        measure = spec.details["measure"]
+        lefts, rights = self.cache.attribute_values(attribute)
+        key = ("string_rows", attribute, start, stop)
+        batch = scratch.get(key)
+        if batch is None:
+            batch = StringBatch(lefts[start:stop], rights)
+            scratch[key] = batch
+        return schema_based_matrix(batch.lefts, batch.rights, measure, batch)
+
+    def _vector_rows(
+        self, spec: SimilarityFunctionSpec, start: int, stop: int
+    ) -> np.ndarray:
+        measure = spec.details["measure"]
+        left, right = self.cache.vector_models(
+            spec.details["unit"],
+            spec.details["n"],
+            weighting_for_measure(measure),
+        )
+        # Row-slice the left model only; document frequencies and the
+        # vocabulary stay collection-global (ARCS weights by global DF).
+        rows = replace(
+            left,
+            matrix=left.matrix[start:stop],
+            binary=left.binary[start:stop],
+        )
+        return vector_measure_matrix(rows, right, measure)
+
+    def _graph_rows(
+        self, spec: SimilarityFunctionSpec, start: int, stop: int, scratch: dict
+    ) -> np.ndarray:
+        unit, n = spec.details["unit"], spec.details["n"]
+        measure = spec.details["measure"]
+        sparse_left, sparse_right = self.cache.entity_graphs(unit, n)
+        rows_left = sparse_left[start:stop]
+        ratio = common = None
+        if measure in ("value", "normalized_value", "overall"):
+            key = ("graph_ratio_rows", unit, n, start, stop)
+            ratio = scratch.get(key)
+            if ratio is None:
+                ratio = pairwise_ratio_sum(rows_left, sparse_right)
+                scratch[key] = ratio
+        if measure in ("containment", "overall"):
+            key = ("graph_common_rows", unit, n, start, stop)
+            common = scratch.get(key)
+            if common is None:
+                common = common_edge_matrix(rows_left, sparse_right)
+                scratch[key] = common
+        return graph_measure_matrix(
+            rows_left, sparse_right, measure, ratio=ratio, common=common
+        )
+
+    def _semantic_rows(
+        self,
+        spec: SimilarityFunctionSpec,
+        attribute: str | None,
+        start: int,
+        stop: int,
+    ) -> np.ndarray:
+        model_name = spec.details["model"]
+        measure = spec.details["measure"]
+        lefts, rights = self.cache._source(attribute)
+        wmd_stats = None
+        if measure == "wmd":
+            token_left, token_right = self.cache.token_embeddings(
+                model_name, attribute
+            )
+            stats_left, stats_right = self.cache.wmd_stats(
+                model_name, attribute
+            )
+            embeddings = (token_left[start:stop], token_right)
+            wmd_stats = (stats_left[start:stop], stats_right)
+        else:
+            text_left, text_right = self.cache.text_embeddings(
+                model_name, attribute
+            )
+            embeddings = (text_left[start:stop], text_right)
+        return semantic_matrix_from_embeddings(
+            lefts[start:stop],
+            rights,
+            measure,
+            embeddings[0],
+            embeddings[1],
+            wmd_stats=wmd_stats,
         )
 
     def _seed_schema_artifacts(self, attribute: str, measure: str):
@@ -656,6 +932,23 @@ class SimilarityEngine:
             embeddings[1],
             wmd_stats=wmd_stats,
         )
+
+
+def _grid_blocks(start: int, stop: int, chunk: int, n_rows: int):
+    """Absolute chunk-grid blocks overlapping ``[start, stop)``.
+
+    Yields whole grid cells ``[k*chunk, min((k+1)*chunk, n_rows))``
+    regardless of where the requested range starts or ends — callers
+    slice the computed rows down to the range.  Evaluating only whole
+    grid cells keeps every chunk-internal BLAS gemm bitwise identical
+    to the blocks the unsharded chunked pass performs, which is what
+    makes shard boundaries free to land on any row.
+    """
+    lo = start - (start % chunk)
+    while lo < stop:
+        hi = min(lo + chunk, n_rows)
+        yield lo, hi
+        lo = hi
 
 
 @dataclass(frozen=True)

@@ -44,10 +44,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 __all__ = [
+    "ROW_CHUNK_CELLS",
     "UniquePlan",
     "SparsePlan",
     "kernel_threads",
     "get_kernel_threads",
+    "row_chunk_size",
     "row_blocks",
     "run_blocks",
     "encode_strings",
@@ -65,6 +67,28 @@ __all__ = [
     "jaro_pairs",
     "monge_elkan_pairs",
 ]
+
+
+# ----------------------------------------------------------------------
+# Row chunking
+# ----------------------------------------------------------------------
+#: Cells per dense row chunk of the incremental scoring paths (~8 MB of
+#: float64).  The chunk size is a function of the dataset *shape* only —
+#: never of a memory budget or shard count — so shard boundaries always
+#: land on chunk multiples and every chunked/sharded pass performs the
+#: exact same per-block operations as the full dense pass.
+ROW_CHUNK_CELLS = 1 << 20
+
+
+def row_chunk_size(n_right: int) -> int:
+    """Rows per dense chunk against ``n_right`` columns.
+
+    Deterministic in the dataset shape alone, which is what makes the
+    sharded paths bit-identical to the unsharded ones: any row range
+    aligned to a multiple of this size decomposes into the same chunk
+    blocks the full pass would compute.
+    """
+    return max(1, ROW_CHUNK_CELLS // max(int(n_right), 1))
 
 
 # ----------------------------------------------------------------------

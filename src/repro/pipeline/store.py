@@ -380,6 +380,30 @@ class _CandidateSetCodec:
         )
 
 
+class _ScoreShardCodec:
+    """``(left, right, values)`` — one shard's spilled raw edges.
+
+    Stored uncompressed (``compress = False``): shard spills are
+    written once and read back immediately by the merge, so the
+    deflate pass would cost more than the disk bytes it saves, and an
+    uncompressed npz member can be extracted as a view by
+    ``np.load(..., mmap_mode="r")``.
+    """
+
+    compress = False
+
+    def encode(self, value) -> dict:
+        left, right, values = value
+        return {
+            "left": np.asarray(left, dtype=np.int64),
+            "right": np.asarray(right, dtype=np.int64),
+            "values": np.asarray(values, dtype=np.float64),
+        }
+
+    def decode(self, arrays):
+        return arrays["left"], arrays["right"], arrays["values"]
+
+
 #: Artifact kind (the first element of an ``ArtifactCache`` key) ->
 #: codec.  Only these kinds persist; everything else — cheap derived
 #: state, live model objects — stays in-memory per run.
@@ -394,6 +418,7 @@ STORE_KINDS = {
     "string_unique_tokens": _CsrPairCodec(),
     "string_token_grid": _MongeElkanGridCodec(),
     "candidate_set": _CandidateSetCodec(),
+    "score_shard": _ScoreShardCodec(),
 }
 
 
@@ -557,7 +582,8 @@ class ArtifactStore:
             return False
         self.root.mkdir(parents=True, exist_ok=True)
         arrays = codec.encode(value)
-        self._atomic_write_npz(payload_path, arrays)
+        compress = getattr(codec, "compress", True)
+        self._atomic_write_npz(payload_path, arrays, compress=compress)
         manifest = {
             "schema_version": SCHEMA_VERSION,
             "repro_version": _repro_version(),
@@ -590,11 +616,14 @@ class ArtifactStore:
             f"{target.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         )
 
-    def _atomic_write_npz(self, target: Path, arrays: dict) -> None:
+    def _atomic_write_npz(
+        self, target: Path, arrays: dict, compress: bool = True
+    ) -> None:
         tmp = self._tmp_path(target)
+        writer = np.savez_compressed if compress else np.savez
         try:
             with open(tmp, "wb") as handle:
-                np.savez_compressed(handle, **arrays)
+                writer(handle, **arrays)
             os.replace(tmp, target)
         finally:
             tmp.unlink(missing_ok=True)

@@ -73,9 +73,11 @@ from repro.graph.io import (
 from repro.graph.unipartite import (
     UnipartiteGraph,
     matrix_to_unipartite_graph,
+    pairs_to_unipartite_graph,
 )
 from repro.pipeline.engine import SimilarityEngine, SpecGroup, group_specs
 from repro.pipeline.graph_builder import matrix_to_graph, pairs_to_graph
+from repro.pipeline.sharding import plan_for_dataset
 from repro.pipeline.resilience import (
     JournalCodec,
     ResilientPool,
@@ -122,7 +124,13 @@ class GraphCorpusConfig:
     under it (tier hits never write anywhere — see
     :mod:`repro.pipeline.store`); none of the three affects the
     produced corpus or the cache key — only wall-clock — and all are
-    therefore excluded from :meth:`cache_key`.
+    therefore excluded from :meth:`cache_key`.  ``max_memory`` (bytes)
+    routes generation through the sharded execution tier
+    (:mod:`repro.pipeline.sharding`): each dataset's row space splits
+    into budget-sized shards that run as individual pool tasks and
+    merge bit-identically to the unsharded corpus — like the
+    worker/store knobs it bounds resources without changing results,
+    so it too is excluded from :meth:`cache_key`.
     """
 
     datasets: tuple[str, ...] = DATASET_CODES
@@ -141,6 +149,7 @@ class GraphCorpusConfig:
     workers: int = 1
     artifact_store: str | None = None
     store_read_tier: str | None = None
+    max_memory: int | None = None
 
     def cache_key(self) -> str:
         """A stable hash of every generation-relevant knob."""
@@ -249,6 +258,7 @@ def generate_corpus(
     journal_dir: str | Path | None = None,
     policy: RetryPolicy | None = None,
     blocking: str | None = None,
+    max_memory: int | None = None,
 ) -> list[GraphRecord]:
     """Generate (or load from cache) the graph corpus for ``config``.
 
@@ -258,7 +268,10 @@ def generate_corpus(
     the same corpus as a serial, store-less run.  ``blocking``
     overrides ``config.blocking`` — unlike the others it changes the
     produced corpus (and its cache key): similarity is computed only
-    on the scheme's candidate pairs.
+    on the scheme's candidate pairs.  ``max_memory`` overrides
+    ``config.max_memory``: generation runs through the sharded
+    execution tier (shard-level pool tasks, spilled edges, parent-side
+    merge) and the corpus stays bit-identical.
 
     Generation fans out through the shared fault-tolerant runner
     (:mod:`repro.pipeline.resilience`): failed groups retry with
@@ -283,6 +296,8 @@ def generate_corpus(
         )
     if blocking is not None:
         config = dataclasses.replace(config, blocking=str(blocking))
+    if max_memory is not None:
+        config = dataclasses.replace(config, max_memory=int(max_memory))
     if config.blocking is not None:
         # Validate (and fail fast on) a bad spec before any generation.
         from repro.pipeline.blocking import canonical_blocking
@@ -297,6 +312,18 @@ def generate_corpus(
             return _load_cached(cache_dir)
 
     n_workers = config.workers if workers is None else workers
+    if config.max_memory is not None:
+        records = _sharded_corpus_records(
+            config,
+            n_workers,
+            progress=progress,
+            resume=resume,
+            journal_dir=journal_dir,
+            policy=policy,
+        )
+        if cache_dir is not None:
+            _store_cache(cache_dir, records, workers=n_workers)
+        return records
     tasks = _corpus_tasks(config)
     journal = _make_run_journal(
         journal_dir, resume, f"corpus-{config.cache_key()}"
@@ -582,6 +609,224 @@ def _all_matches_zero(
     return not bool(np.isin(truth_keys, edge_keys).any())
 
 
+# ----------------------------------------------------------------------
+# Sharded generation: bounded-memory corpus runs (max_memory)
+# ----------------------------------------------------------------------
+def _sharded_corpus_records(
+    config: GraphCorpusConfig,
+    n_workers: int,
+    progress: bool = False,
+    resume: bool = False,
+    journal_dir: str | Path | None = None,
+    policy: RetryPolicy | None = None,
+) -> list[GraphRecord]:
+    """The corpus via the sharded execution tier.
+
+    Every ``(dataset, spec group)`` unit expands into one pool task
+    per shard of the dataset's :func:`~repro.pipeline.sharding.plan_for_dataset`
+    plan, so the resilient runner's retry/resume machinery applies at
+    shard granularity: a killed worker repeats one shard, not a whole
+    group, and with a journal each finished shard's edges persist as
+    an npz spill.  The parent concatenates shard edges in range order
+    and builds every graph through
+    :func:`~repro.pipeline.graph_builder.pairs_to_graph` — by the
+    merge-determinism rules of :mod:`repro.pipeline.sharding` the
+    result is bit-identical to the unsharded corpus, whatever the
+    budget, shard count or worker count.
+    """
+    tasks = _corpus_tasks(config)
+    datasets: dict[str, CleanCleanDataset] = {}
+    plans: dict = {}
+    for code, _ in tasks:
+        if code not in plans:
+            datasets[code] = _generate(config, code)
+            plans[code] = plan_for_dataset(
+                datasets[code],
+                memory_budget=config.max_memory,
+                blocking=config.blocking,
+            )
+    journal = _make_run_journal(
+        journal_dir, resume, f"corpus-shards-{config.cache_key()}"
+    )
+    pool_tasks = []
+    use_pool = n_workers > 1 and sum(
+        plans[code].n_shards for code, _ in tasks
+    ) > 1
+    threads = 1 if use_pool else max(n_workers, 1)
+    for index, (code, group) in enumerate(tasks):
+        for shard, (start, stop) in enumerate(plans[code].ranges()):
+            pool_tasks.append(
+                Task(
+                    key=f"{index:03d}:{code}:s{shard:03d}",
+                    fn=_shard_group_worker,
+                    args=(
+                        (config, code, group, threads, start, stop,
+                         shard == 0),
+                    ),
+                )
+            )
+    runner = ResilientPool(
+        n_workers if use_pool else 0,
+        kind="process",
+        policy=policy,
+        journal=journal,
+        codec=_SHARD_JOURNAL_CODEC,
+        label="corpus-shards",
+    )
+    chunks = runner.run(pool_tasks)
+    records: list[GraphRecord] = []
+    for index, (code, group) in enumerate(tasks):
+        payloads = [
+            chunks[f"{index:03d}:{code}:s{shard:03d}"]
+            for shard in range(plans[code].n_shards)
+        ]
+        records.extend(
+            _merge_shard_records(
+                config, group, datasets[code], plans[code], payloads,
+                progress=progress,
+            )
+        )
+    if journal is not None:
+        journal.clear()
+    return records
+
+
+def _shard_group_worker(
+    task: tuple[GraphCorpusConfig, str, SpecGroup, int, int, int, bool],
+) -> dict:
+    """One shard of one spec group: raw edges plus per-spec timings.
+
+    The first shard of each group (``with_stats``) also reports the
+    deterministic savings statistics (dedup ratio, candidate
+    reduction) that the merged records carry — they are properties of
+    the whole dataset, not of a row range.
+    """
+    config, code, group, threads, start, stop, with_stats = task
+    key = _engine_memo_key(config, code, threads)
+    engine = _WORKER_STATE.get(key)
+    if engine is None:
+        engine = _make_engine(config, code, threads=threads)
+        _WORKER_STATE.clear()
+        _WORKER_STATE[key] = engine
+    results = engine.shard_scores_group(list(group.specs), start, stop)
+    return {
+        "specs": [
+            {
+                "left": left,
+                "right": right,
+                "values": values,
+                "artifact_seconds": artifact_seconds,
+                "matrix_seconds": matrix_seconds,
+            }
+            for (left, right, values), artifact_seconds, matrix_seconds
+            in results
+        ],
+        "stats": (
+            _group_stats(engine, group, config) if with_stats else None
+        ),
+    }
+
+
+def _group_stats(
+    engine: SimilarityEngine,
+    group: SpecGroup,
+    config: GraphCorpusConfig,
+) -> list[dict]:
+    """Per-spec ``dedup_ratio`` / ``candidate_reduction`` of a group."""
+    stats = []
+    for spec in group.specs:
+        dedup_ratio = 1.0
+        candidate_reduction = 1.0
+        if config.blocking is not None:
+            candidate_reduction = engine.cache.candidate_set(
+                engine.blocking
+            ).reduction
+        if spec.family == "schema_based_syntactic":
+            attribute = spec.details["attribute"]
+            if config.blocking is None:
+                dedup_ratio = engine.cache.string_batch(
+                    attribute
+                ).plan.dedup_ratio
+            else:
+                dedup_ratio = engine.cache.sparse_plan(
+                    attribute, engine.blocking
+                ).dedup_ratio
+        stats.append(
+            {
+                "dedup_ratio": dedup_ratio,
+                "candidate_reduction": candidate_reduction,
+            }
+        )
+    return stats
+
+
+def _merge_shard_records(
+    config: GraphCorpusConfig,
+    group: SpecGroup,
+    dataset: CleanCleanDataset,
+    plan,
+    payloads: list[dict],
+    progress: bool = False,
+) -> list[GraphRecord]:
+    """Merge one group's shard payloads into final :class:`GraphRecord`s.
+
+    Mirrors :func:`_group_records` field for field: same graph names
+    and metadata, same zero-evidence filter, same savings statistics —
+    only the timing attribution differs (per-shard sums instead of one
+    in-process measurement).
+    """
+    from repro.datasets.catalog import CATEGORY_BY_DATASET
+
+    records: list[GraphRecord] = []
+    stats = payloads[0]["stats"]
+    for spec_index, spec in enumerate(group.specs):
+        parts = [payload["specs"][spec_index] for payload in payloads]
+        artifact_seconds = float(
+            sum(part["artifact_seconds"] for part in parts)
+        )
+        matrix_seconds = float(
+            sum(part["matrix_seconds"] for part in parts)
+        )
+        graph_start = time.perf_counter()
+        metadata = {
+            "dataset": dataset.code,
+            "family": spec.family,
+            "function": spec.name,
+        }
+        if config.blocking is not None:
+            metadata["blocking"] = config.blocking
+        graph = pairs_to_graph(
+            plan.n_left,
+            plan.n_right,
+            np.concatenate([part["left"] for part in parts]),
+            np.concatenate([part["right"] for part in parts]),
+            np.concatenate([part["values"] for part in parts]),
+            name=f"{dataset.code}:{spec.name}",
+            metadata=metadata,
+        )
+        graph_seconds = time.perf_counter() - graph_start
+        if _all_matches_zero(graph, dataset.ground_truth):
+            continue
+        record = GraphRecord(
+            graph=graph,
+            dataset=dataset.code,
+            family=spec.family,
+            function=spec.name,
+            category=CATEGORY_BY_DATASET[dataset.code],
+            ground_truth=dataset.ground_truth,
+            build_seconds=artifact_seconds + matrix_seconds + graph_seconds,
+            artifact_seconds=artifact_seconds,
+            matrix_seconds=matrix_seconds,
+            graph_seconds=graph_seconds,
+            dedup_ratio=stats[spec_index]["dedup_ratio"],
+            candidate_reduction=stats[spec_index]["candidate_reduction"],
+        )
+        if progress:
+            _print_progress(record)
+        records.append(record)
+    return records
+
+
 def _record_meta(record, filename: str) -> dict:
     """One record's manifest/journal entry (everything but the graph)."""
     return {
@@ -753,11 +998,52 @@ def _read_dirty_entry(path: Path) -> list[DirtyGraphRecord]:
     return _read_record_chunk(path, load_unipartite_graph, DirtyGraphRecord)
 
 
+def _write_shard_entry(payload: dict, path: Path) -> None:
+    """Journal one shard task: an npz edge spill plus a ``shard.json``
+    with the timings and (on the stats shard) savings statistics.  The
+    arrays round-trip bit-exactly through the uncompressed npz, so a
+    resumed run merges the same corpus as an uninterrupted one."""
+    arrays = {}
+    meta = {"specs": [], "stats": payload["stats"]}
+    for index, spec in enumerate(payload["specs"]):
+        arrays[f"left_{index}"] = np.asarray(spec["left"], dtype=np.int64)
+        arrays[f"right_{index}"] = np.asarray(spec["right"], dtype=np.int64)
+        arrays[f"values_{index}"] = np.asarray(
+            spec["values"], dtype=np.float64
+        )
+        meta["specs"].append(
+            {
+                "artifact_seconds": spec["artifact_seconds"],
+                "matrix_seconds": spec["matrix_seconds"],
+            }
+        )
+    np.savez(path / "edges.npz", **arrays)
+    (path / "shard.json").write_text(json.dumps(meta))
+
+
+def _read_shard_entry(path: Path) -> dict:
+    meta = json.loads((path / "shard.json").read_text())
+    with np.load(path / "edges.npz") as arrays:
+        specs = [
+            {
+                "left": arrays[f"left_{index}"],
+                "right": arrays[f"right_{index}"],
+                "values": arrays[f"values_{index}"],
+                **entry,
+            }
+            for index, entry in enumerate(meta["specs"])
+        ]
+    return {"specs": specs, "stats": meta["stats"]}
+
+
 _CORPUS_JOURNAL_CODEC = JournalCodec(
     write=_write_corpus_entry, read=_read_corpus_entry
 )
 _DIRTY_JOURNAL_CODEC = JournalCodec(
     write=_write_dirty_entry, read=_read_dirty_entry
+)
+_SHARD_JOURNAL_CODEC = JournalCodec(
+    write=_write_shard_entry, read=_read_shard_entry
 )
 
 
@@ -817,6 +1103,7 @@ def _make_dirty_engine(
         dataset_key=dataset_store_key(
             _self_join_code(code), config.scale, config.max_pairs, config.seed
         ),
+        blocking=config.blocking,
     )
 
 
@@ -830,6 +1117,7 @@ def generate_dirty_corpus(
     resume: bool = False,
     journal_dir: str | Path | None = None,
     policy: RetryPolicy | None = None,
+    blocking: str | None = None,
 ) -> list[DirtyGraphRecord]:
     """Generate (or load from cache) the dirty-ER self-join corpus.
 
@@ -842,14 +1130,18 @@ def generate_dirty_corpus(
     :func:`generate_corpus`: wall-clock only, never results.
     ``resume`` / ``journal_dir`` / ``policy`` are the resilience knobs
     of :func:`generate_corpus`, under the ``dirty-`` run key.
-    Blocking is a bipartite-corpus feature; a config carrying a
-    ``blocking`` spec is rejected here.
+    ``blocking`` mirrors the clean-clean semantics over the self join:
+    candidates are generated union-against-union and only upper-triangle
+    (``u < v``) candidate pairs become edges, so the scheme changes the
+    corpus (and its cache key) exactly as in :func:`generate_corpus`.
+    The ``max_memory`` shard tier is a bipartite-corpus feature; a
+    config carrying one is rejected here.
     """
-    if config.blocking is not None:
+    if config.max_memory is not None:
         raise ValueError(
-            "blocking is not supported for the dirty-ER self-join "
-            "corpus (candidate generation is defined over the two "
-            "clean collections)"
+            "max_memory sharding is not supported for the dirty-ER "
+            "self-join corpus yet; drop the budget or run the "
+            "bipartite corpus"
         )
     if artifact_store is not None:
         config = dataclasses.replace(
@@ -858,6 +1150,14 @@ def generate_dirty_corpus(
     if store_read_tier is not None:
         config = dataclasses.replace(
             config, store_read_tier=str(store_read_tier)
+        )
+    if blocking is not None:
+        config = dataclasses.replace(config, blocking=str(blocking))
+    if config.blocking is not None:
+        from repro.pipeline.blocking import canonical_blocking
+
+        config = dataclasses.replace(
+            config, blocking=canonical_blocking(config.blocking)
         )
     if cache_dir is not None:
         cache_dir = Path(cache_dir) / f"dirty_{config.cache_key()}"
@@ -931,17 +1231,53 @@ def _dirty_group_records(
     records: list[DirtyGraphRecord] = []
     for spec in group.specs:
         start = time.perf_counter()
-        matrix, artifact_seconds, matrix_seconds = engine.compute_timed(spec)
-        graph_start = time.perf_counter()
-        graph = matrix_to_unipartite_graph(
-            matrix,
-            name=f"{dataset.code}:{spec.name}",
-            metadata={
-                "dataset": dataset.code,
-                "family": spec.family,
-                "function": spec.name,
-            },
-        )
+        metadata = {
+            "dataset": dataset.code,
+            "family": spec.family,
+            "function": spec.name,
+        }
+        dedup_ratio = 1.0
+        candidate_reduction = 1.0
+        if engine.blocking is None:
+            matrix, artifact_seconds, matrix_seconds = (
+                engine.compute_timed(spec)
+            )
+            graph_start = time.perf_counter()
+            graph = matrix_to_unipartite_graph(
+                matrix,
+                name=f"{dataset.code}:{spec.name}",
+                metadata=metadata,
+            )
+        else:
+            # The clean-clean semantics over the self join: candidates
+            # come from the union collection joined with itself and
+            # only the strict upper triangle survives (the diagonal
+            # and mirrored duplicates drop in pairs_to_unipartite_graph).
+            pairs, artifact_seconds, matrix_seconds = (
+                engine.compute_pairs_timed(spec)
+            )
+            graph_start = time.perf_counter()
+            graph = pairs_to_unipartite_graph(
+                len(dataset.left),
+                pairs.left,
+                pairs.right,
+                pairs.values,
+                name=f"{dataset.code}:{spec.name}",
+                metadata={**metadata, "blocking": engine.blocking},
+            )
+            candidate_reduction = engine.cache.candidate_set(
+                engine.blocking
+            ).reduction
+        if spec.family == "schema_based_syntactic":
+            attribute = spec.details["attribute"]
+            if engine.blocking is None:
+                dedup_ratio = engine.cache.string_batch(
+                    attribute
+                ).plan.dedup_ratio
+            else:
+                dedup_ratio = engine.cache.sparse_plan(
+                    attribute, engine.blocking
+                ).dedup_ratio
         graph_seconds = time.perf_counter() - graph_start
         elapsed = time.perf_counter() - start
         if _all_dirty_matches_zero(graph, dataset.ground_truth):
@@ -958,6 +1294,8 @@ def _dirty_group_records(
                 artifact_seconds=artifact_seconds,
                 matrix_seconds=matrix_seconds,
                 graph_seconds=graph_seconds,
+                dedup_ratio=dedup_ratio,
+                candidate_reduction=candidate_reduction,
             )
         )
     return records

@@ -290,12 +290,29 @@ class TestCorpusIntegration:
         assert blocked.cache_key() != config.cache_key()
         assert blocked.cache_key() == respelled.cache_key()
 
-    def test_dirty_corpus_rejects_blocking(self, tmp_path):
+    def test_dirty_corpus_accepts_blocking(self):
+        """The self-join corpus mirrors the clean-clean semantics: a
+        blocked dirty graph's edges are a subset of the dense dirty
+        graph's, restricted to upper-triangle candidate pairs."""
         config = GraphCorpusConfig(
-            datasets=("d1",), seed=7, blocking="tokens"
+            datasets=("d1",),
+            families=("schema_based_syntactic",),
+            seed=7,
+            schema_based_measures=("levenshtein",),
+            max_attributes=1,
         )
-        with pytest.raises(ValueError, match="blocking"):
-            generate_dirty_corpus(config, cache_dir=tmp_path)
+        dense = generate_dirty_corpus(config)
+        blocked = generate_dirty_corpus(config, blocking="tokens")
+        assert len(dense) == len(blocked)
+        for a, b in zip(dense, blocked):
+            assert b.graph.metadata["blocking"].startswith("tokens")
+            assert b.candidate_reduction >= 1.0
+            dense_pairs = set(zip(a.graph.u.tolist(), a.graph.v.tolist()))
+            blocked_pairs = set(
+                zip(b.graph.u.tolist(), b.graph.v.tolist())
+            )
+            assert blocked_pairs <= dense_pairs
+            assert (b.graph.u < b.graph.v).all()
 
     def test_pairs_to_graph_drops_nonpositive_scores(self):
         graph = pairs_to_graph(
