@@ -1,0 +1,213 @@
+"""Service benchmark: micro-batch coalescing vs serial execution.
+
+Stands up the ER-as-a-service app twice over the same warm
+:class:`~repro.service.resolver.ResolverService` configuration — once
+with the micro-batch scheduler coalescing (the production path) and
+once with ``coalesce=False`` (strict serial per-request execution) —
+and drives both with ``CLIENTS`` concurrent in-process clients, each
+issuing a stream of ``POST /resolve`` requests.  Then
+
+* asserts the coalesced path reaches at least ``MIN_SPEEDUP``x the
+  serial throughput at the same concurrency,
+* asserts every coalesced response body is **byte-identical** to the
+  serial response for the same query (per-pair kernels are exact, so
+  batch composition cannot change a score), and
+* reports p50/p99 request latency for both modes.
+
+Run directly (the CI smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke] [--json PATH]
+
+Latency is measured around the full ASGI round trip (parse, schedule,
+kernel pass, serialize), in-process — no sockets, so the numbers
+isolate the engine + scheduler cost the service adds per request.
+
+Not a pytest-benchmark harness on purpose: the comparison needs two
+end-to-end concurrent runs of the same request stream, not statistics
+over many hot repetitions of one call.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import sys
+import time
+
+try:  # direct script execution: benchmarks/ is sys.path[0]
+    from _report import write_report as _write_report
+except ImportError:  # imported as benchmarks.bench_* from the repo root
+    from benchmarks._report import write_report as _write_report
+
+from repro.service import ServiceConfig, create_app
+from repro.service.testclient import AsgiClient
+
+#: Required coalesced-vs-serial throughput gain at CLIENTS concurrent
+#: clients.  Coalescing amortizes one StringBatch + SparsePlan +
+#: kernel pass over the whole batch, so the gain tracks the achieved
+#: batch size; 2x is the acceptance floor, typical gains are higher.
+MIN_SPEEDUP = 2.0
+
+#: Concurrent in-process clients (the acceptance criterion's 16).
+CLIENTS = 16
+
+#: Requests each client issues per run.
+REQUESTS_FULL = 24
+REQUESTS_SMOKE = 6
+
+#: Dataset profile served by the benchmark app.
+DATASET = "d1"
+SCALE_FULL = 0.4
+SCALE_SMOKE = 0.05
+MAX_PAIRS = 2000
+
+
+def _service_config(smoke: bool, coalesce: bool) -> ServiceConfig:
+    return ServiceConfig(
+        datasets=(DATASET,),
+        blocking="tokens",
+        measure="jaccard",
+        scale=SCALE_SMOKE if smoke else SCALE_FULL,
+        max_pairs=MAX_PAIRS,
+        seed=42,
+        tick=0.002,
+        max_batch=CLIENTS * 2,
+        coalesce=coalesce,
+    )
+
+
+def _queries(app, per_client: int) -> list[list[str]]:
+    """Per-client query streams drawn from the served dataset's own
+    left collection (every record resolves against real candidates)."""
+    service = app.state["service"]
+    index = service.index(DATASET)
+    lefts, _ = index.cache.texts()
+    streams = []
+    for client in range(CLIENTS):
+        streams.append(
+            [
+                lefts[(client * per_client + k) % len(lefts)]
+                for k in range(per_client)
+            ]
+        )
+    return streams
+
+
+async def _drive(app, per_client: int):
+    """Run the concurrent client fleet; returns (seconds, latencies,
+    bodies, batch sizes) with bodies keyed by (client, request)."""
+    async with AsgiClient(app) as client:
+        streams = _queries(app, per_client)
+        latencies: list[float] = []
+        bodies: dict[tuple[int, int], bytes] = {}
+        batch_sizes: list[int] = []
+
+        async def one_client(cid: int) -> None:
+            for k, query in enumerate(streams[cid]):
+                start = time.perf_counter()
+                response = await client.post(
+                    "/resolve",
+                    json_body={"dataset": DATASET, "record": query},
+                )
+                latencies.append(time.perf_counter() - start)
+                assert response.status == 200, response.body
+                bodies[(cid, k)] = response.body
+                batch_sizes.append(
+                    int(response.headers.get("x-batch-size", "1"))
+                )
+
+        begin = time.perf_counter()
+        await asyncio.gather(
+            *[one_client(cid) for cid in range(CLIENTS)]
+        )
+        seconds = time.perf_counter() - begin
+    return seconds, latencies, bodies, batch_sizes
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float]:
+    ranked = sorted(latencies)
+    p50 = statistics.median(ranked)
+    p99 = ranked[min(len(ranked) - 1, int(0.99 * len(ranked)))]
+    return p50, p99
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--json", dest="json_path", default=None)
+    parser.add_argument("--no-assert", action="store_true")
+    args = parser.parse_args(argv)
+    per_client = REQUESTS_SMOKE if args.smoke else REQUESTS_FULL
+    total = CLIENTS * per_client
+
+    serial_app = create_app(_service_config(args.smoke, coalesce=False))
+    serial_seconds, serial_lat, serial_bodies, _ = asyncio.run(
+        _drive(serial_app, per_client)
+    )
+    coalesced_app = create_app(_service_config(args.smoke, coalesce=True))
+    batched_seconds, batched_lat, batched_bodies, batch_sizes = asyncio.run(
+        _drive(coalesced_app, per_client)
+    )
+
+    assert serial_bodies.keys() == batched_bodies.keys()
+    mismatched = [
+        key
+        for key in serial_bodies
+        if serial_bodies[key] != batched_bodies[key]
+    ]
+    assert not mismatched, (
+        f"{len(mismatched)} coalesced responses differ from serial: "
+        f"{mismatched[:5]}"
+    )
+
+    speedup = serial_seconds / batched_seconds
+    serial_p50, serial_p99 = _percentiles(serial_lat)
+    batched_p50, batched_p99 = _percentiles(batched_lat)
+    mean_batch = sum(batch_sizes) / len(batch_sizes)
+    print(
+        f"serial    : {total} requests in {serial_seconds:.2f}s "
+        f"({total / serial_seconds:.0f} rps)  "
+        f"p50 {serial_p50 * 1000:.1f}ms  p99 {serial_p99 * 1000:.1f}ms"
+    )
+    print(
+        f"coalesced : {total} requests in {batched_seconds:.2f}s "
+        f"({total / batched_seconds:.0f} rps)  "
+        f"p50 {batched_p50 * 1000:.1f}ms  p99 {batched_p99 * 1000:.1f}ms  "
+        f"mean batch {mean_batch:.1f}"
+    )
+    print(
+        f"throughput gain {speedup:.2f}x (floor {MIN_SPEEDUP}x) — "
+        f"all {total} responses byte-identical to the serial path"
+    )
+    if args.json_path:
+        _write_report(
+            args.json_path,
+            benchmark="service",
+            smoke=args.smoke,
+            legacy_seconds=serial_seconds,
+            engine_seconds=batched_seconds,
+            speedup=speedup,
+            floor=MIN_SPEEDUP,
+            asserted=not args.no_assert,
+            clients=CLIENTS,
+            requests=total,
+            mean_batch_size=mean_batch,
+            serial_p50_ms=serial_p50 * 1000,
+            serial_p99_ms=serial_p99 * 1000,
+            coalesced_p50_ms=batched_p50 * 1000,
+            coalesced_p99_ms=batched_p99 * 1000,
+        )
+    if not args.no_assert:
+        assert mean_batch > 1.0, (
+            f"coalescing never batched (mean batch {mean_batch:.2f})"
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"coalescing gain {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the library's main entry points:
+Ten subcommands cover the library's main entry points:
 
 ``repro match``
     Run one algorithm on an edge-list CSV (``left,right,weight``) and
@@ -40,6 +40,13 @@ Nine subcommands cover the library's main entry points:
     the deterministic shard plan (row ranges, estimated spill sizes,
     chunk grid) a given memory budget produces for one dataset
     profile (:mod:`repro.pipeline.sharding`).
+``repro serve``
+    Run the ER-as-a-service HTTP API (:mod:`repro.service`): warm the
+    frozen per-dataset resolver indexes once at startup, then serve
+    ``POST /resolve`` (micro-batched single-record resolution),
+    ``POST /match``, ``GET /healthz`` and ``GET /datasets``.  Startup
+    failures (unknown dataset, bad port, broken store) exit 1 with a
+    clear message.
 
 ``--workers`` and ``--artifact-store`` only change wall-clock, never
 results; ``--max-memory`` (on ``corpus``/``experiments``) likewise
@@ -383,6 +390,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap on generated duplicate pairs (default: catalog default)",
     )
     shard_plan.add_argument("--seed", type=int, default=42)
+
+    serve = commands.add_parser(
+        "serve", help="run the ER-as-a-service resolution HTTP API"
+    )
+    serve.add_argument(
+        "datasets", nargs="+",
+        help="dataset profile codes to index and serve (d1 .. d10)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8000, help="TCP port to bind"
+    )
+    serve.add_argument(
+        "--blocking", type=_blocking_spec, default="tokens",
+        help="blocking spec for the query-time candidate index",
+    )
+    serve.add_argument(
+        "--measure", default="jaccard",
+        help="default similarity measure for /resolve and /match",
+    )
+    serve.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale factor (default: catalog default)",
+    )
+    serve.add_argument(
+        "--max-pairs", type=int, default=None,
+        help="cap on generated duplicate pairs (default: catalog default)",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--tick", type=float, default=0.002,
+        help="micro-batch coalescing window in seconds",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=64,
+        help="max /resolve requests coalesced into one kernel pass",
+    )
+    serve.add_argument(
+        "--no-coalesce", action="store_true",
+        help="serial per-request execution (disables micro-batching)",
+    )
+    _add_store_flags(
+        serve,
+        "persistent artifact store the warmup loads dataset "
+        "artifacts from (and commits fresh builds to)",
+    )
     return parser
 
 
@@ -944,6 +999,35 @@ def _command_shard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, create_app
+    from repro.service.server import ServiceStartupError, serve
+
+    if args.measure is not None:
+        from repro.service.resolver import RESOLVE_MEASURES
+
+        if args.measure not in RESOLVE_MEASURES:
+            known = ", ".join(RESOLVE_MEASURES)
+            raise ServiceStartupError(
+                f"unknown measure {args.measure!r}; known: {known}"
+            )
+    config = ServiceConfig(
+        datasets=tuple(args.datasets),
+        blocking=args.blocking,
+        measure=args.measure,
+        scale=args.scale,
+        max_pairs=args.max_pairs,
+        seed=args.seed,
+        artifact_store=args.artifact_store,
+        store_read_tier=_store_read_tier(args),
+        tick=args.tick,
+        max_batch=args.max_batch,
+        coalesce=not args.no_coalesce,
+    )
+    serve(create_app(config), host=args.host, port=args.port)
+    return 0
+
+
 _COMMANDS = {
     "match": _command_match,
     "generate": _command_generate,
@@ -954,6 +1038,7 @@ _COMMANDS = {
     "store": _command_store,
     "block": _command_block,
     "shard": _command_shard,
+    "serve": _command_serve,
 }
 
 
@@ -964,8 +1049,11 @@ def main(argv: list[str] | None = None) -> int:
     130: every finished task already journaled as it landed (commits
     are atomic) and the pools shut down on unwind, so ``--resume``
     picks up exactly where the run stopped.  A permanent task failure
-    (:class:`~repro.pipeline.resilience.ResilienceError`) prints the
-    failed task keys to stderr and exits 1.
+    (:class:`~repro.pipeline.resilience.ResilienceError`) and a
+    service startup failure
+    (:class:`~repro.service.server.ServiceStartupError`: unknown
+    dataset, bad port, broken store) both print a clear one-line error
+    to stderr and exit 1 — never a traceback.
     """
     args = build_parser().parse_args(argv)
     try:
@@ -979,8 +1067,9 @@ def main(argv: list[str] | None = None) -> int:
         return 130
     except RuntimeError as error:
         from repro.pipeline.resilience import ResilienceError
+        from repro.service.server import ServiceStartupError
 
-        if isinstance(error, ResilienceError):
+        if isinstance(error, (ResilienceError, ServiceStartupError)):
             print(f"error: {error}", file=sys.stderr)
             return 1
         raise

@@ -54,9 +54,11 @@ import numpy as np
 from repro.textsim.tokenize import character_ngrams, tokens
 
 __all__ = [
+    "BlockingIndex",
     "CandidateSet",
     "SchemeSpec",
     "build_candidate_set",
+    "build_blocking_index",
     "canonical_blocking",
     "parse_blocking_spec",
 ]
@@ -532,3 +534,242 @@ def _fold_band(rows_chunk: np.ndarray) -> np.ndarray:
     for column in range(1, rows_chunk.shape[1]):
         key = (key * _MIX) ^ rows_chunk[:, column]
     return key
+
+
+# ----------------------------------------------------------------------
+# Query-time probing (the index half of the index/query split)
+# ----------------------------------------------------------------------
+#
+# The batch path above joins two *whole collections*; a serving layer
+# instead indexes one frozen collection once and probes it with single
+# records at query time.  :class:`BlockingIndex` freezes everything the
+# batch build derives from the corpus — document frequencies, stop-
+# token limits, rarity ranks, minhash permutations and the right-side
+# posting lists — so that for every record of the left collection it
+# was built over, ``probe(lefts[i])`` returns **exactly** the row-``i``
+# candidates of ``build_candidate_set(lefts, rights, spec)``
+# (``tests/pipeline/test_blocking.py`` asserts the equivalence per
+# scheme and for composite specs).  Novel query records reuse the
+# frozen statistics — the standard serving convention (IDF frozen at
+# index build); an unseen token is treated as a rarest (df = 1) token,
+# which is what a batch containing the query would compute, and can
+# never surface a candidate anyway unless it appears in the indexed
+# collection.
+
+
+class _TokenProbe:
+    """Query-time half of the ``tokens`` inverted-index scheme."""
+
+    def __init__(
+        self, lefts: list[str], rights: list[str], scheme: SchemeSpec
+    ) -> None:
+        self._q = int(scheme.param("q"))
+        max_df = float(scheme.param("max_df"))
+        left_tokens = _record_tokens(lefts, self._q)
+        right_tokens = _record_tokens(rights, self._q)
+        df: dict[str, int] = {}
+        for record in (*left_tokens, *right_tokens):
+            for token in record:
+                df[token] = df.get(token, 0) + 1
+        limit = max_df * (len(lefts) + len(rights)) + _EPS
+        postings: dict[str, list[int]] = {}
+        for j, record in enumerate(right_tokens):
+            for token in record:
+                if df[token] <= limit:
+                    postings.setdefault(token, []).append(j)
+        self._postings = {
+            token: np.asarray(ids, dtype=np.int64)
+            for token, ids in postings.items()
+        }
+
+    def _keys(self, text: str) -> list[str]:
+        if self._q:
+            return sorted(set(character_ngrams(text, self._q))) if text else []
+        return sorted(set(tokens(text)))
+
+    def probe(self, text: str) -> np.ndarray:
+        parts = [
+            self._postings[token]
+            for token in self._keys(text)
+            if token in self._postings
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+
+class _PrefixProbe:
+    """Query-time half of the ``prefix`` filtering scheme.
+
+    The query plays the *left* role of the batch join: only its
+    ``|x| - ceil(t*|x|) + 1`` rarest tokens (frozen global rarity,
+    ties by token text) probe the index, and the index holds postings
+    for **all** tokens of the indexed records, exactly as the batch
+    build lets right records probe with all of theirs.
+    """
+
+    def __init__(
+        self, lefts: list[str], rights: list[str], scheme: SchemeSpec
+    ) -> None:
+        self._threshold = float(scheme.param("threshold"))
+        left_tokens = _record_tokens(lefts, 0)
+        right_tokens = _record_tokens(rights, 0)
+        df: dict[str, int] = {}
+        for record in (*left_tokens, *right_tokens):
+            for token in record:
+                df[token] = df.get(token, 0) + 1
+        self._df = df
+        postings: dict[str, list[int]] = {}
+        for j, record in enumerate(right_tokens):
+            for token in record:
+                postings.setdefault(token, []).append(j)
+        self._postings = {
+            token: np.asarray(ids, dtype=np.int64)
+            for token, ids in postings.items()
+        }
+        self._sizes = np.asarray(
+            [len(record) for record in right_tokens], dtype=np.int64
+        )
+
+    def probe(self, text: str) -> np.ndarray:
+        query = sorted(set(tokens(text)))
+        size = len(query)
+        empty = np.zeros(0, dtype=np.int64)
+        if size == 0:
+            return empty
+        required = max(int(math.ceil(self._threshold * size - _EPS)), 1)
+        count = size - required + 1
+        # Frozen rarity order; an unseen token gets df = 1 (its own
+        # occurrence in a batch containing this query), keeping the
+        # order identical to the batch rank for in-corpus tokens.
+        prefix = sorted(query, key=lambda t: (self._df.get(t, 1), t))[:count]
+        parts = [
+            self._postings[token]
+            for token in prefix
+            if token in self._postings
+        ]
+        if not parts:
+            return empty
+        candidates = np.concatenate(parts)
+        sizes = self._sizes[candidates]
+        keep = np.minimum(size, sizes) >= (
+            self._threshold * np.maximum(size, sizes) - _EPS
+        )
+        return candidates[keep]
+
+
+class _MinhashProbe:
+    """Query-time half of the ``minhash`` LSH-banding scheme.
+
+    Banding collisions are pairwise — a query and an indexed record
+    collide iff their signatures agree on some band, independent of
+    every other record — so the frozen per-band bucket tables
+    reproduce the batch candidates exactly for any query.
+    """
+
+    def __init__(self, rights: list[str], scheme: SchemeSpec) -> None:
+        perms = int(scheme.param("perms"))
+        bands = int(scheme.param("bands"))
+        seed = int(scheme.param("seed"))
+        self._rows = perms // bands
+        self._bands = bands
+        rng = np.random.default_rng(seed)
+        high = np.iinfo(np.uint64).max
+        self._mul = (
+            rng.integers(1, high, size=perms, dtype=np.uint64) | np.uint64(1)
+        )
+        self._add = rng.integers(0, high, size=perms, dtype=np.uint64)
+        self._buckets: list[dict[int, np.ndarray]] = []
+        raw: list[dict[int, list[int]]] = [{} for _ in range(bands)]
+        for j, text in enumerate(rights):
+            signature = self._signature(text)
+            if signature is None:
+                continue
+            for band, key in enumerate(self._band_keys(signature)):
+                raw[band].setdefault(int(key), []).append(j)
+        for table in raw:
+            self._buckets.append(
+                {
+                    key: np.asarray(ids, dtype=np.int64)
+                    for key, ids in table.items()
+                }
+            )
+
+    def _signature(self, text: str) -> np.ndarray | None:
+        record = sorted(set(tokens(text)))
+        if not record:
+            return None  # token-less records never enter a band
+        values = np.asarray(
+            [_token_hash(token) for token in record], dtype=np.uint64
+        )
+        # Wrap-around multiply-add hashing, exactly as the batch pass;
+        # the min over a record's permuted hashes is order-invariant.
+        permuted = self._mul[:, None] * values[None, :] + self._add[:, None]
+        return permuted.min(axis=1)
+
+    def _band_keys(self, signature: np.ndarray) -> np.ndarray:
+        chunks = signature.reshape(self._bands, self._rows)
+        return _fold_band(chunks)
+
+    def probe(self, text: str) -> np.ndarray:
+        signature = self._signature(text)
+        empty = np.zeros(0, dtype=np.int64)
+        if signature is None:
+            return empty
+        parts = []
+        for band, key in enumerate(self._band_keys(signature)):
+            ids = self._buckets[band].get(int(key))
+            if ids is not None:
+                parts.append(ids)
+        if not parts:
+            return empty
+        return np.concatenate(parts)
+
+
+@dataclass(frozen=True)
+class BlockingIndex:
+    """Frozen query-time blocking index over one indexed collection.
+
+    Built once from the two collections of a dataset (corpus
+    statistics freeze at build time), probed many times with single
+    records.  :meth:`probe` returns the sorted, de-duplicated indexed-
+    side record ids a blocking spec retains for the query — for any
+    record of the left collection the index was built over, exactly
+    the corresponding :class:`CandidateSet` row of the batch build.
+    """
+
+    n_indexed: int
+    scheme: str
+    _probes: tuple = field(compare=False, repr=False)
+
+    @classmethod
+    def build(
+        cls, lefts: list[str], rights: list[str], spec: str
+    ) -> "BlockingIndex":
+        specs = parse_blocking_spec(spec)
+        probes = []
+        for scheme in specs:
+            if scheme.name == "tokens":
+                probes.append(_TokenProbe(lefts, rights, scheme))
+            elif scheme.name == "prefix":
+                probes.append(_PrefixProbe(lefts, rights, scheme))
+            else:
+                probes.append(_MinhashProbe(rights, scheme))
+        return cls(
+            n_indexed=len(rights),
+            scheme="+".join(s.canonical for s in specs),
+            _probes=tuple(probes),
+        )
+
+    def probe(self, text: str) -> np.ndarray:
+        """Sorted unique indexed-record ids retained for ``text``."""
+        parts = [probe.probe(text) for probe in self._probes]
+        merged = np.concatenate(parts) if parts else np.zeros(0, np.int64)
+        return np.unique(merged)
+
+
+def build_blocking_index(
+    lefts: list[str], rights: list[str], spec: str
+) -> BlockingIndex:
+    """Build the query-time :class:`BlockingIndex` for ``spec``."""
+    return BlockingIndex.build(lefts, rights, spec)

@@ -283,6 +283,22 @@ class ArtifactCache:
 
         return self.get(("sparse_plan", attribute, blocking), build)
 
+    def probe_index(self, blocking: str):
+        """The query-time :class:`~repro.pipeline.blocking.BlockingIndex`.
+
+        Memoized but never persisted: the index is a dict-heavy probe
+        structure cheap to rebuild from the dataset and expensive to
+        serialize, and the serving layer builds it once per process at
+        warmup anyway.
+        """
+        from repro.pipeline.blocking import build_blocking_index
+
+        def build():
+            lefts, rights = self.texts()
+            return build_blocking_index(lefts, rights, blocking)
+
+        return self.get(("probe_index", blocking), build)
+
     # -------------------------------------------------- vector models
     def profile_space(self, unit: str, n: int):
         texts_left, texts_right = self.texts()

@@ -1,0 +1,32 @@
+"""ER-as-a-service: the async resolution API over the warm engine.
+
+The package splits the engine into an index phase and a query phase
+(:mod:`repro.service.resolver`), coalesces concurrent queries into
+shared kernel passes (:mod:`repro.service.scheduler`), and exposes
+both over a dependency-free ASGI application (:mod:`repro.service.app`
+on :mod:`repro.service.asgi`) servable in-process for tests
+(:mod:`repro.service.testclient`) or over HTTP via ``repro serve``
+(:mod:`repro.service.server`).
+"""
+
+from repro.service.app import ServiceConfig, create_app
+from repro.service.resolver import (
+    RESOLVE_MEASURES,
+    Match,
+    ResolverIndex,
+    ResolverService,
+)
+from repro.service.scheduler import MicroBatchScheduler
+from repro.service.server import ServiceStartupError, serve
+
+__all__ = [
+    "RESOLVE_MEASURES",
+    "Match",
+    "MicroBatchScheduler",
+    "ResolverIndex",
+    "ResolverService",
+    "ServiceConfig",
+    "ServiceStartupError",
+    "create_app",
+    "serve",
+]

@@ -1,0 +1,253 @@
+"""Application factory for the ER-as-a-service API.
+
+Layering follows the routes → handlers → services convention: the
+route table lives here and stays thin (parse + validate + translate
+errors), all resolution logic lives in
+:class:`~repro.service.resolver.ResolverService`, and concurrency
+policy lives in :class:`~repro.service.scheduler.MicroBatchScheduler`.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness + warmup state + scheduler statistics.  503 until the
+    lifespan startup has built every configured index.
+``GET /datasets``
+    The served datasets and their frozen-index shapes.
+``POST /resolve``
+    ``{"dataset", "record", "measure"?, "top_k"?, "tag"?}`` — resolve
+    one record against an indexed collection through the micro-batch
+    scheduler.  The ``X-Batch-Size`` response header reports how many
+    concurrent requests shared the kernel pass.
+``POST /match``
+    ``{"left": [...], "right": [...], "algorithm", "threshold"?,
+    "measure"?}`` — match two small ad-hoc collections with any of
+    the 10 bipartite algorithms.
+
+Warmup runs under the ASGI *lifespan* protocol: index builds happen
+exactly once, before the first request is accepted; a failed build
+(unknown dataset, broken store) surfaces as ``lifespan.startup.failed``
+and the server refuses to start.
+"""
+
+from __future__ import annotations
+
+from contextlib import asynccontextmanager
+from dataclasses import dataclass
+
+from repro.service.asgi import App, HTTPError, JSONResponse, Request
+from repro.service.resolver import ResolverIndex, ResolverService
+from repro.service.scheduler import MicroBatchScheduler
+
+__all__ = ["ServiceConfig", "create_app"]
+
+#: Hard cap on ad-hoc /match collection sizes: the dense grid is
+#: quadratic, and big jobs belong in the batch pipeline.
+MAX_MATCH_RECORDS = 512
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the app factory needs to stand up the service."""
+
+    datasets: tuple[str, ...]
+    blocking: str = "tokens"
+    measure: str = "jaccard"
+    scale: float | None = None
+    max_pairs: int | None = None
+    seed: int = 42
+    artifact_store: str | None = None
+    store_read_tier: str | None = None
+    tick: float = 0.002
+    max_batch: int = 64
+    coalesce: bool = True
+
+
+def _warm_service(config: ServiceConfig) -> ResolverService:
+    """Build every configured index (the expensive, once-only part)."""
+    store = None
+    if config.artifact_store is not None:
+        from repro.pipeline.store import ArtifactStore
+
+        store = ArtifactStore(
+            config.artifact_store, read_tier=config.store_read_tier
+        )
+    indexes = {}
+    for code in config.datasets:
+        index = ResolverIndex.build(
+            code,
+            blocking=config.blocking,
+            scale=config.scale,
+            max_pairs=config.max_pairs,
+            seed=config.seed,
+            store=store,
+        )
+        indexes[index.code] = index
+    return ResolverService(indexes)
+
+
+def create_app(config: ServiceConfig) -> App:
+    """The ASGI app for ``config``; warmup deferred to lifespan."""
+
+    @asynccontextmanager
+    async def lifespan(app: App):
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        service = await loop.run_in_executor(None, _warm_service, config)
+        scheduler = MicroBatchScheduler(
+            service,
+            tick=config.tick,
+            max_batch=config.max_batch,
+            coalesce=config.coalesce,
+        )
+        scheduler.start()
+        app.state["service"] = service
+        app.state["scheduler"] = scheduler
+        try:
+            yield
+        finally:
+            await scheduler.aclose()
+            app.state.pop("service", None)
+            app.state.pop("scheduler", None)
+
+    app = App(lifespan=lifespan)
+    app.state["config"] = config
+
+    def _service() -> ResolverService:
+        service = app.state.get("service")
+        if service is None:
+            raise HTTPError(503, "service is warming up")
+        return service
+
+    def _scheduler() -> MicroBatchScheduler:
+        scheduler = app.state.get("scheduler")
+        if scheduler is None or not scheduler.running:
+            raise HTTPError(503, "service is warming up")
+        return scheduler
+
+    def _body_object(request: Request) -> dict:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(400, "request body must be a JSON object")
+        return payload
+
+    def _string_field(payload: dict, name: str) -> str:
+        value = payload.get(name)
+        if not isinstance(value, str) or not value.strip():
+            raise HTTPError(422, f"{name!r} must be a non-empty string")
+        return value
+
+    def _string_list(payload: dict, name: str) -> list[str]:
+        value = payload.get(name)
+        if (
+            not isinstance(value, list)
+            or not value
+            or not all(isinstance(item, str) for item in value)
+        ):
+            raise HTTPError(
+                422, f"{name!r} must be a non-empty list of strings"
+            )
+        if len(value) > MAX_MATCH_RECORDS:
+            raise HTTPError(
+                422,
+                f"{name!r} exceeds {MAX_MATCH_RECORDS} records; use the "
+                "batch pipeline for large collections",
+            )
+        return value
+
+    @app.route("GET", "/healthz")
+    async def healthz(request: Request) -> JSONResponse:
+        service = app.state.get("service")
+        scheduler = app.state.get("scheduler")
+        if service is None or scheduler is None:
+            return JSONResponse(
+                {"status": "warming", "datasets": []}, status=503
+            )
+        return JSONResponse(
+            {
+                "status": "ok",
+                "datasets": list(service.datasets),
+                "scheduler": scheduler.stats(),
+            }
+        )
+
+    @app.route("GET", "/datasets")
+    async def datasets(request: Request) -> JSONResponse:
+        service = _service()
+        return JSONResponse(
+            {
+                "datasets": service.describe(),
+                "default_measure": config.measure,
+            }
+        )
+
+    @app.route("POST", "/resolve")
+    async def resolve(request: Request) -> JSONResponse:
+        payload = _body_object(request)
+        scheduler = _scheduler()
+        dataset = _string_field(payload, "dataset")
+        record = _string_field(payload, "record")
+        measure = payload.get("measure", config.measure)
+        top_k = payload.get("top_k", 10)
+        if not isinstance(top_k, int) or top_k < 1:
+            raise HTTPError(422, "'top_k' must be a positive integer")
+        tag = payload.get("tag", "")
+        if not isinstance(tag, str):
+            raise HTTPError(422, "'tag' must be a string")
+        try:
+            matches, batch_size = await scheduler.submit(
+                dataset, measure, record, top_k=top_k, tag=tag
+            )
+        except KeyError as error:
+            status = 404 if "dataset" in str(error) else 422
+            raise HTTPError(status, str(error).strip('"')) from None
+        return JSONResponse(
+            {
+                "dataset": dataset.lower(),
+                "measure": measure,
+                "matches": [match.payload() for match in matches],
+            },
+            headers={"X-Batch-Size": str(batch_size)},
+        )
+
+    @app.route("POST", "/match")
+    async def match(request: Request) -> JSONResponse:
+        payload = _body_object(request)
+        service = _service()
+        lefts = _string_list(payload, "left")
+        rights = _string_list(payload, "right")
+        algorithm = _string_field(payload, "algorithm")
+        measure = payload.get("measure", config.measure)
+        threshold = payload.get("threshold", 0.5)
+        if not isinstance(threshold, (int, float)) or isinstance(
+            threshold, bool
+        ):
+            raise HTTPError(422, "'threshold' must be a number")
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        try:
+            pairs = await loop.run_in_executor(
+                None,
+                service.match,
+                lefts,
+                rights,
+                algorithm,
+                float(threshold),
+                measure,
+            )
+        except (KeyError, ValueError) as error:
+            raise HTTPError(422, str(error).strip('"')) from None
+        return JSONResponse(
+            {
+                "algorithm": algorithm.upper(),
+                "measure": measure,
+                "threshold": threshold,
+                "pairs": [
+                    {"left": i, "right": j, "score": score}
+                    for i, j, score in pairs
+                ],
+            }
+        )
+
+    return app

@@ -1,0 +1,167 @@
+"""In-process ASGI test client (the role httpx's ``ASGITransport``
+plays in environments that have httpx).
+
+:class:`AsgiClient` speaks raw ASGI to an :class:`~repro.service.asgi.App`
+without sockets: requests become ``http`` scopes, and entering the
+client as an async context manager drives the full *lifespan* cycle —
+startup on ``__aenter__`` (raising :class:`LifespanFailed` if the app
+refuses to start), shutdown on ``__aexit__``.  Constructing the client
+with ``lifespan=False`` skips the cycle, which is how the tests reach
+the app in its cold, pre-warmup state.
+
+Tests are plain synchronous pytest functions (no asyncio plugin in
+the container), so the module also ships :func:`run_app`: run an async
+scenario against an app under a fresh event loop and a managed
+lifespan.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Awaitable, Callable
+
+__all__ = ["AsgiClient", "ClientResponse", "LifespanFailed", "run_app"]
+
+
+class LifespanFailed(RuntimeError):
+    """The app reported ``lifespan.startup.failed``."""
+
+
+class ClientResponse:
+    """One captured HTTP response."""
+
+    def __init__(
+        self, status: int, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> Any:
+        return json.loads(self.body)
+
+
+class AsgiClient:
+    """Drive an ASGI app in-process, one request per call."""
+
+    def __init__(self, app, lifespan: bool = True) -> None:
+        self.app = app
+        self._lifespan = lifespan
+        self._startup_done: asyncio.Event | None = None
+        self._shutdown_done: asyncio.Event | None = None
+        self._to_app: asyncio.Queue | None = None
+        self._task: asyncio.Task | None = None
+        self._failure: str | None = None
+
+    # ------------------------------------------------ lifespan driving
+    async def __aenter__(self) -> "AsgiClient":
+        if self._lifespan:
+            await self.startup()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        if self._lifespan:
+            await self.shutdown()
+
+    async def startup(self) -> None:
+        """Run the app's lifespan startup; raise if it fails."""
+        self._to_app = asyncio.Queue()
+        self._startup_done = asyncio.Event()
+        self._shutdown_done = asyncio.Event()
+
+        async def receive():
+            return await self._to_app.get()
+
+        async def send(message):
+            kind = message["type"]
+            if kind == "lifespan.startup.failed":
+                self._failure = message.get("message", "")
+                self._startup_done.set()
+            elif kind == "lifespan.startup.complete":
+                self._startup_done.set()
+            elif kind in (
+                "lifespan.shutdown.complete",
+                "lifespan.shutdown.failed",
+            ):
+                self._shutdown_done.set()
+
+        self._task = asyncio.ensure_future(
+            self.app({"type": "lifespan"}, receive, send)
+        )
+        await self._to_app.put({"type": "lifespan.startup"})
+        await self._startup_done.wait()
+        if self._failure is not None:
+            await self._task
+            raise LifespanFailed(self._failure)
+
+    async def shutdown(self) -> None:
+        """Run the app's lifespan shutdown and join the lifespan task."""
+        if self._task is None or self._task.done():
+            return
+        await self._to_app.put({"type": "lifespan.shutdown"})
+        await self._shutdown_done.wait()
+        await self._task
+
+    # --------------------------------------------------------- requests
+    async def request(
+        self,
+        method: str,
+        path: str,
+        json_body: Any = None,
+        body: bytes | None = None,
+    ) -> ClientResponse:
+        if json_body is not None:
+            body = json.dumps(json_body).encode("utf-8")
+        body = body or b""
+        path, _, query = path.partition("?")
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "path": path,
+            "query_string": query.encode("latin-1"),
+            "headers": [(b"content-type", b"application/json")],
+        }
+        sent = False
+        received: list[dict] = []
+
+        async def receive():
+            nonlocal sent
+            if sent:
+                return {"type": "http.disconnect"}
+            sent = True
+            return {"type": "http.request", "body": body, "more_body": False}
+
+        async def send(message):
+            received.append(message)
+
+        await self.app(scope, receive, send)
+        start = next(m for m in received if m["type"] == "http.response.start")
+        chunks = [
+            m.get("body", b"")
+            for m in received
+            if m["type"] == "http.response.body"
+        ]
+        headers = {
+            name.decode("latin-1"): value.decode("latin-1")
+            for name, value in start.get("headers", [])
+        }
+        return ClientResponse(start["status"], headers, b"".join(chunks))
+
+    async def get(self, path: str) -> ClientResponse:
+        return await self.request("GET", path)
+
+    async def post(self, path: str, json_body: Any = None) -> ClientResponse:
+        return await self.request("POST", path, json_body=json_body)
+
+
+def run_app(app, scenario: Callable[[AsgiClient], Awaitable[Any]]) -> Any:
+    """Run ``scenario(client)`` against ``app`` under a managed lifespan."""
+
+    async def main():
+        async with AsgiClient(app) as client:
+            return await scenario(client)
+
+    return asyncio.run(main())

@@ -25,7 +25,9 @@ from repro.cli import main
 from repro.datasets.generator import CleanCleanDataset, DatasetSpec
 from repro.datasets.profile import EntityCollection, EntityProfile
 from repro.pipeline.blocking import (
+    BlockingIndex,
     CandidateSet,
+    build_blocking_index,
     build_candidate_set,
     canonical_blocking,
     parse_blocking_spec,
@@ -185,6 +187,92 @@ class TestDeterminism:
             b = threaded.compute_pairs(spec)
             assert np.array_equal(a.left, b.left)
             assert np.array_equal(a.values, b.values)
+
+
+class TestProbeEqualsBatchRow:
+    """The query-time index/batch equivalence the service rests on:
+    for every left record the :class:`BlockingIndex` was built over,
+    a single-record probe returns exactly the candidates the batch
+    :class:`CandidateSet` yields for that row."""
+
+    SPECS = (
+        "tokens:max_df=0.5,q=0",
+        "tokens:q=3,max_df=0.4",
+        "prefix:threshold=0.4",
+        "prefix:threshold=0.8",
+        "minhash:bands=4,perms=8",
+        "tokens+prefix:threshold=0.3+minhash:bands=2,perms=4",
+    )
+
+    @given(lefts=strings, rights=strings)
+    @settings(max_examples=25, deadline=None)
+    def test_probe_rows_match_batch_rows(self, lefts, rights):
+        for spec in self.SPECS:
+            candidates = build_candidate_set(lefts, rights, spec)
+            index = build_blocking_index(lefts, rights, spec)
+            for i, text in enumerate(lefts):
+                batch_row = np.sort(
+                    candidates.right[candidates.left == i]
+                ).astype(np.int64)
+                assert np.array_equal(index.probe(text), batch_row), (
+                    spec,
+                    i,
+                    text,
+                )
+
+    @given(lefts=strings, rights=strings)
+    @settings(max_examples=20, deadline=None)
+    def test_probe_output_is_sorted_unique_and_bounded(
+        self, lefts, rights
+    ):
+        index = build_blocking_index(
+            lefts, rights, "tokens+minhash:bands=2,perms=4"
+        )
+        for text in (*lefts, "completely novel record", ""):
+            ids = index.probe(text)
+            assert ids.dtype == np.int64
+            assert np.array_equal(ids, np.unique(ids))
+            if ids.shape[0]:
+                assert 0 <= ids[0] and ids[-1] < index.n_indexed
+
+    def test_index_freezes_corpus_statistics(self):
+        """Probing never mutates the index: the same query returns the
+        same candidates regardless of what was probed in between."""
+        lefts = ["alpha beta", "beta gamma", "delta"]
+        rights = ["alpha gamma", "beta", "epsilon delta"]
+        index = build_blocking_index(lefts, rights, "tokens")
+        before = index.probe("alpha beta")
+        for noise in ("zzz", "beta beta beta", "", "alpha"):
+            index.probe(noise)
+        assert np.array_equal(index.probe("alpha beta"), before)
+
+    def test_novel_query_tokens_act_as_rarest(self):
+        """An unseen token gets df=1 (what a batch containing the query
+        would compute), so a prefix probe keeps it in the prefix and
+        still recovers in-corpus candidates through shared tokens."""
+        rights = ["alpha beta", "beta gamma"]
+        index = build_blocking_index(
+            ["alpha beta"], rights, "prefix:threshold=0.4"
+        )
+        # "unseen alpha" : 2 tokens at t=0.4 -> prefix keeps both, and
+        # "alpha" still reaches right record 0 through the postings.
+        assert 0 in index.probe("unseen alpha").tolist()
+
+    def test_engine_memoizes_probe_index(self):
+        engine = SimilarityEngine(
+            _dataset(["alpha beta", "gamma"], ["alpha", "beta gamma"]),
+            blocking="tokens",
+        )
+        spec = canonical_blocking("tokens")
+        first = engine.cache.probe_index(spec)
+        assert isinstance(first, BlockingIndex)
+        assert engine.cache.probe_index(spec) is first
+        assert engine.cache.build_counts[("probe_index", spec)] == 1
+
+    def test_build_matches_canonical_scheme(self):
+        index = build_blocking_index(["a"], ["a"], "tokens")
+        assert index.scheme == canonical_blocking("tokens")
+        assert index.n_indexed == 1
 
 
 class TestSpecParsing:

@@ -666,6 +666,92 @@ class TestGcAndBudget:
             cache.graph_common_edges("token", 1)
 
 
+class TestConcurrentReaders:
+    """Readers hammering ``load`` during concurrent ``gc`` cycles.
+
+    The serving layer reads the store from request threads while a gc
+    may run in another process.  The store's "uncommit first"
+    discipline (``_remove`` unlinks the manifest before the payload)
+    means a racing reader sees a clean miss, never a torn entry — so
+    no amount of load/gc interleaving may ever create a quarantine
+    entry, and every load that *does* succeed must return the exact
+    committed payload.
+    """
+
+    N_ENTRIES = 6
+    N_READERS = 4
+    GC_CYCLES = 40
+
+    def _payload(self, index: int) -> np.ndarray:
+        rng = np.random.default_rng(1000 + index)
+        return rng.standard_normal(256)
+
+    def test_loads_during_gc_never_quarantine(self, tmp_path):
+        import threading
+
+        store = ArtifactStore(tmp_path)
+        keys = []
+        expected = {}
+        for index in range(self.N_ENTRIES):
+            cache_key = ("graph_ratio", "token", index)
+            payload = self._payload(index)
+            store.save(DATASET_KEY, cache_key, payload)
+            keys.append(cache_key)
+            expected[cache_key] = payload
+        per_entry = store.entries()[0].nbytes
+
+        stop = threading.Event()
+        errors: list[str] = []
+        hits = [0] * self.N_READERS
+        misses = [0] * self.N_READERS
+
+        def reader(slot: int) -> None:
+            # Each reader gets its own store handle on the same root,
+            # like concurrent worker processes would.
+            local = ArtifactStore(tmp_path)
+            while not stop.is_set():
+                for cache_key in keys:
+                    value = local.load(DATASET_KEY, cache_key)
+                    if value is None:
+                        misses[slot] += 1
+                    elif np.array_equal(value, expected[cache_key]):
+                        hits[slot] += 1
+                    else:
+                        errors.append(f"torn payload for {cache_key}")
+                        return
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(self.N_READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            # Churn: evict down to half the entries, then restore the
+            # victims, so readers keep racing removals and rewrites.
+            for _ in range(self.GC_CYCLES):
+                store.gc(per_entry * (self.N_ENTRIES // 2))
+                for cache_key in keys:
+                    store.save(
+                        DATASET_KEY, cache_key, expected[cache_key]
+                    )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert not errors, errors
+        # Misses are expected (reader raced an eviction); corruption
+        # and quarantines are not.
+        assert store.quarantined() == []
+        assert store.quarantine_counts() == (0, 0)
+        assert sum(hits) > 0
+        for cache_key in keys:
+            final = store.load(DATASET_KEY, cache_key)
+            assert final is not None
+            assert np.array_equal(final, expected[cache_key])
+
+
 def _tier_snapshot(root):
     """Full content+mtime fingerprint of a store directory."""
     return {

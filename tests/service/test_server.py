@@ -1,0 +1,176 @@
+"""The stdlib HTTP/1.1 bridge: real sockets, startup failure modes."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import ServiceConfig, create_app
+from repro.service.server import ServiceStartupError, serve, serve_async
+
+SERVICE_DATASET = "d1"
+
+
+def _config(**overrides) -> ServiceConfig:
+    defaults = dict(
+        datasets=(SERVICE_DATASET,), scale=0.05, max_pairs=200
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+async def _http(reader, writer, method, path, payload=None):
+    """One HTTP/1.1 exchange on an open connection."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\nhost: t\r\n"
+        f"content-length: {len(body)}\r\n\r\n"
+    ).encode()
+    writer.write(head + body)
+    await writer.drain()
+    raw = await reader.readuntil(b"\r\n\r\n")
+    lines = raw.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    length = 0
+    for line in lines[1:]:
+        if line.lower().startswith("content-length"):
+            length = int(line.split(":")[1])
+    payload = await reader.readexactly(length)
+    return status, json.loads(payload) if payload else None
+
+
+class TestHttpBridge:
+    def test_serves_json_api_over_real_sockets(self):
+        app = create_app(_config())
+
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.ensure_future(
+                serve_async(app, "127.0.0.1", 0, ready=ready)
+            )
+            await ready.wait()
+            port = app.state["server_port"]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            status, payload = await _http(reader, writer, "GET", "/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+            # keep-alive: a second request on the same connection
+            status, payload = await _http(
+                reader,
+                writer,
+                "POST",
+                "/resolve",
+                {"dataset": SERVICE_DATASET, "record": "main st"},
+            )
+            assert status == 200
+            assert "matches" in payload
+            status, payload = await _http(reader, writer, "GET", "/nope")
+            assert status == 404
+            writer.close()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(main())
+
+    def test_garbage_request_closes_connection_quietly(self):
+        app = create_app(_config())
+
+        async def main():
+            ready = asyncio.Event()
+            task = asyncio.ensure_future(
+                serve_async(app, "127.0.0.1", 0, ready=ready)
+            )
+            await ready.wait()
+            port = app.state["server_port"]
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            writer.write(b"NOT HTTP AT ALL\r\n\r\n")
+            await writer.drain()
+            assert await reader.read() == b""  # server just hangs up
+            writer.close()
+            # and the server still serves afterwards
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", port
+            )
+            status, _ = await _http(reader, writer, "GET", "/healthz")
+            assert status == 200
+            writer.close()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(main())
+
+
+class TestStartupFailures:
+    def test_invalid_port_raises_before_warmup(self):
+        with pytest.raises(ServiceStartupError, match="invalid port"):
+            serve(create_app(_config()), port=70000)
+
+    def test_unknown_dataset_fails_startup(self):
+        app = create_app(_config(datasets=("nope",)))
+        with pytest.raises(ServiceStartupError, match="unknown dataset"):
+            serve(app, port=0)
+
+    def test_bind_conflict_raises(self):
+        app = create_app(_config())
+
+        async def main():
+            blocker = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0
+            )
+            port = blocker.sockets[0].getsockname()[1]
+            with pytest.raises(ServiceStartupError, match="cannot bind"):
+                await serve_async(app, "127.0.0.1", port)
+            blocker.close()
+            await blocker.wait_closed()
+
+        asyncio.run(main())
+
+
+class TestCliServeErrors:
+    def test_unknown_dataset_exits_one_with_message(self, capsys):
+        from repro.cli import main
+
+        rc = main(["serve", "zz", "--port", "0"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert captured.err.startswith("error:")
+        assert "unknown dataset" in captured.err
+
+    def test_bad_port_exits_one_with_message(self, capsys):
+        from repro.cli import main
+
+        rc = main(["serve", SERVICE_DATASET, "--port", "99999"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "invalid port" in captured.err
+
+    def test_unknown_measure_exits_one_with_message(self, capsys):
+        from repro.cli import main
+
+        rc = main(["serve", SERVICE_DATASET, "--measure", "sounds-like"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "unknown measure" in captured.err
+
+    def test_read_tier_without_store_is_rejected(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "serve", SERVICE_DATASET,
+                    "--store-read-tier", "/tmp/tier",
+                ]
+            )
