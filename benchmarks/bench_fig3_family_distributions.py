@@ -12,10 +12,7 @@ from __future__ import annotations
 from conftest import save_report
 
 from repro.evaluation.report import format_mu_sigma, render_table
-from repro.experiments.effectiveness import (
-    family_effectiveness,
-    macro_effectiveness,
-)
+from repro.experiments.effectiveness import family_effectiveness
 
 
 def test_fig3_family_distributions(benchmark, experiment_results):

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands cover the library's main entry points:
+Eleven subcommands cover the library's main entry points:
 
 ``repro match``
     Run one algorithm on an edge-list CSV (``left,right,weight``) and
@@ -47,6 +47,14 @@ Ten subcommands cover the library's main entry points:
     ``POST /match``, ``GET /healthz`` and ``GET /datasets``.  Startup
     failures (unknown dataset, bad port, broken store) exit 1 with a
     clear message.
+``repro stream``
+    Replay a dataset's self-join union collection as a deterministic
+    insertion stream (seeded arrival order, configurable batch size)
+    through the incremental tier — frozen blocking-index probes,
+    per-batch sparse kernel passes, in-place compiled-graph delta
+    merges and incremental clustering — and verify the final graph
+    and partitions are bit-identical to the batch path
+    (:mod:`repro.pipeline.streaming`); exits 1 on any divergence.
 
 ``--workers`` and ``--artifact-store`` only change wall-clock, never
 results; ``--max-memory`` (on ``corpus``/``experiments``) likewise
@@ -437,6 +445,51 @@ def build_parser() -> argparse.ArgumentParser:
         serve,
         "persistent artifact store the warmup loads dataset "
         "artifacts from (and commits fresh builds to)",
+    )
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay a dataset as an insertion stream and verify "
+             "batch equivalence",
+    )
+    stream.add_argument("dataset", help="profile code (d1 .. d10)")
+    stream.add_argument(
+        "--blocking", type=_blocking_spec, default="tokens",
+        help=_BLOCKING_HELP + " (default: tokens)",
+    )
+    stream.add_argument(
+        "--measure", default="jaccard",
+        help="schema-based similarity measure scoring candidate pairs",
+    )
+    stream.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="clustering threshold (inclusive, the dirty-ER convention)",
+    )
+    stream.add_argument(
+        "--algorithm", "-a", default="all",
+        help="clustering code (CC, MCC, EMCC, GECG) or 'all'",
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=32,
+        help="records ingested per stream batch (the final state is "
+             "invariant to this)",
+    )
+    stream.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale factor (default: catalog default)",
+    )
+    stream.add_argument(
+        "--max-pairs", type=int, default=None,
+        help="cap on generated duplicate pairs (default: catalog default)",
+    )
+    stream.add_argument(
+        "--seed", type=int, default=42,
+        help="seeds both the dataset and the arrival permutation",
+    )
+    stream.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report: equivalence verdicts and the "
+             "cost breakdown as one JSON object",
     )
     return parser
 
@@ -1028,6 +1081,81 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.datasets import dataset_spec, generate_dataset
+    from repro.extensions.dirty_er import DIRTY_ALGORITHM_CODES
+    from repro.pipeline.streaming import replay_stream, stream_report
+
+    if args.algorithm.lower() == "all":
+        algorithms = DIRTY_ALGORITHM_CODES
+    else:
+        algorithms = (args.algorithm.upper(),)
+        if algorithms[0] not in DIRTY_ALGORITHM_CODES:
+            known = " ".join(DIRTY_ALGORITHM_CODES)
+            raise SystemExit(
+                f"unknown algorithm {args.algorithm!r}; known: {known}"
+            )
+    dataset = generate_dataset(
+        dataset_spec(
+            args.dataset, scale=args.scale, max_pairs=args.max_pairs
+        ),
+        seed=args.seed,
+    )
+    # The dirty-ER view: the union collection streamed against itself.
+    texts = dataset.left.texts() + dataset.right.texts()
+    result = replay_stream(
+        texts,
+        measure=args.measure,
+        blocking=args.blocking,
+        threshold=args.threshold,
+        algorithms=algorithms,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        rebuild_probe=True,
+    )
+    report = stream_report(result, texts)
+    identical = report["graph_identical"] and all(
+        report["partitions_identical"].values()
+    )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if identical else 1
+    print(
+        f"{args.dataset}: streamed {report['n_records']} records in "
+        f"{report['n_batches']} batches of {report['batch_size']} "
+        f"(seed {report['seed']}, blocking {report['blocking']})"
+    )
+    print(
+        f"scored {report['n_pairs_scored']} candidate pairs -> "
+        f"{report['n_edges']} edges "
+        f"(batch path: {report['n_edges_batch']})"
+    )
+    print(
+        f"graph bit-identical to batch: "
+        f"{'yes' if report['graph_identical'] else 'NO'}"
+    )
+    for code, same in report["partitions_identical"].items():
+        print(f"  {code} partition identical: {'yes' if same else 'NO'}")
+    print(
+        f"probe {report['probe_seconds']:.3f}s  "
+        f"score {report['score_seconds']:.3f}s  "
+        f"update {report['update_seconds']:.3f}s  "
+        f"partition {report['partition_seconds']:.3f}s"
+    )
+    if report["rebuild_seconds"] is not None:
+        amortized = report["probe_update_seconds"] / max(
+            report["probe_records"], 1
+        )
+        print(
+            f"half-way probe ({report['probe_records']} records): "
+            f"amortized update {amortized * 1e6:.1f}us/record vs full "
+            f"rebuild {report['rebuild_seconds']:.3f}s"
+        )
+    return 0 if identical else 1
+
+
 _COMMANDS = {
     "match": _command_match,
     "generate": _command_generate,
@@ -1039,6 +1167,7 @@ _COMMANDS = {
     "block": _command_block,
     "shard": _command_shard,
     "serve": _command_serve,
+    "stream": _command_stream,
 }
 
 

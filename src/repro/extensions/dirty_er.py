@@ -356,6 +356,42 @@ def _component_masks(selection) -> list[int]:
     return [masks[label] for label in sorted(masks, key=lambda l: masks[l] & -masks[l])]
 
 
+def _cluster_component(
+    adjacency: list[int],
+    component: int,
+    attach_fraction: float | None,
+) -> list[set[int]]:
+    """Canonical clique removal inside one component (a node bitset).
+
+    The shared per-component body of MCC (``attach_fraction is None``)
+    and EMCC — also the unit of work of the incremental layer
+    (:mod:`repro.extensions.incremental`), which re-runs it only for
+    components a delta touched.  Depends exclusively on ``adjacency``
+    restricted to ``component``, so batch and incremental calls over
+    the same component are identical cluster-for-cluster.
+    """
+    clusters: list[set[int]] = []
+    alive = component
+    while True:
+        clique = _canonical_max_clique_bits(adjacency, alive)
+        if len(clique) < 2:
+            break
+        cluster_mask = 0
+        for node in clique:
+            cluster_mask |= 1 << node
+        if attach_fraction is not None:
+            required = max(1, int(round(attach_fraction * len(clique))))
+            for node in _iter_bits(alive & ~cluster_mask):
+                if (
+                    adjacency[node] & cluster_mask
+                ).bit_count() >= required:
+                    cluster_mask |= 1 << node
+        clusters.append(set(_iter_bits(cluster_mask)))
+        alive &= ~cluster_mask
+    clusters.extend({node} for node in _iter_bits(alive))
+    return clusters
+
+
 def _clique_removal_compiled(
     compiled: CompiledUnipartiteGraph,
     threshold: float,
@@ -374,26 +410,9 @@ def _clique_removal_compiled(
     adjacency = selection.adjacency_bitsets()
     clusters: list[set[int]] = []
     for component in _component_masks(selection):
-        alive = component
-        while True:
-            clique = _canonical_max_clique_bits(adjacency, alive)
-            if len(clique) < 2:
-                break
-            cluster_mask = 0
-            for node in clique:
-                cluster_mask |= 1 << node
-            if attach_fraction is not None:
-                required = max(
-                    1, int(round(attach_fraction * len(clique)))
-                )
-                for node in _iter_bits(alive & ~cluster_mask):
-                    if (
-                        adjacency[node] & cluster_mask
-                    ).bit_count() >= required:
-                        cluster_mask |= 1 << node
-            clusters.append(set(_iter_bits(cluster_mask)))
-            alive &= ~cluster_mask
-        clusters.extend({node} for node in _iter_bits(alive))
+        clusters.extend(
+            _cluster_component(adjacency, component, attach_fraction)
+        )
     return clusters
 
 
@@ -465,49 +484,108 @@ def _gecg_base(compiled: CompiledUnipartiteGraph):
     return base
 
 
+def _gecg_entries(
+    compiled: CompiledUnipartiteGraph, edges_at: np.ndarray, m: int
+):
+    """Edge-to-incidence CSR over the triangle base, cached.
+
+    Groups the flattened triangle incidence rows by their ``edges_at``
+    edge: ``entry_order[indptr[e]:indptr[e + 1]]`` are the rows whose
+    scored edge is ``e``.  This is what lets an iteration recompute
+    gains for only the edges sharing a triangle with the last flip.
+    Derived from the triangle base, so the incremental layer drops it
+    (and this rebuilds lazily) whenever the base is patched.
+    """
+    entries = compiled.kernel_cache.get("gecg_entries")
+    if entries is None:
+        entry_order = np.argsort(edges_at, kind="stable")
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(np.bincount(edges_at, minlength=m), out=indptr[1:])
+        entries = (entry_order, indptr)
+        compiled.kernel_cache["gecg_entries"] = entries
+    return entries
+
+
 def global_edge_consistency_gain_compiled(
     compiled: CompiledUnipartiteGraph,
     threshold: float,
     max_iterations: int = 100,
 ) -> list[set[int]]:
-    """Compiled GECG: vectorized triangle-consistency gain.
+    """Compiled GECG: incrementally maintained triangle-consistency gain.
 
     The triangles are enumerated once per graph (cached across the
-    whole threshold sweep); each iteration then scores *every* edge's
-    flip gain with two ``bincount`` calls over the triangle incidence
-    — ``#`` of incident triangles whose other two edges are both
-    matched versus both unmatched — instead of a Python loop over
-    common-neighbour sets.  The first edge attaining the maximum
-    positive gain in canonical ascending ``(u, v)`` order flips
-    (``np.argmax`` returns exactly that edge, matching the legacy
-    iteration order); clusters are the ``csgraph`` components of the
-    match-labelled edges.
+    whole threshold sweep, and patched in place by the incremental
+    layer).  The initial gain of every edge — ``#`` of incident
+    triangles whose other two edges are both matched versus both
+    unmatched — is two ``bincount`` calls over the triangle incidence;
+    each subsequent iteration then recomputes gains *only for the
+    edges sharing a triangle with the flipped edge* (the flipped
+    edge's own gain just negates: its incident labels are unchanged),
+    instead of rescoring the full graph.  The maintained gain array is
+    exactly the full recompute, so the flip sequence — first edge
+    attaining the maximum positive gain in canonical ascending
+    ``(u, v)`` order, via ``np.argmax`` — is unchanged from the
+    full-recompute kernel and from the legacy iteration order;
+    clusters are the ``csgraph`` components of the match-labelled
+    edges.
     """
     n = compiled.n_nodes
     m = compiled.n_edges
     if m == 0:
         return [{node} for node in range(n)]
     edge_u, edge_v, weights, edges_at, other_a, other_b = _gecg_base(compiled)
+    entry_order, entry_indptr = _gecg_entries(compiled, edges_at, m)
     labels = selection_mask(weights, threshold, inclusive=True).copy()
 
+    la = labels[other_a]
+    lb = labels[other_b]
+    both_matched = np.bincount(
+        edges_at, weights=(la & lb).astype(np.float64), minlength=m
+    )
+    both_unmatched = np.bincount(
+        edges_at, weights=(~la & ~lb).astype(np.float64), minlength=m
+    )
+    gain = np.where(
+        labels,
+        both_unmatched - both_matched,
+        both_matched - both_unmatched,
+    )
+
     for _ in range(max_iterations):
-        la = labels[other_a]
-        lb = labels[other_b]
-        both_matched = np.bincount(
-            edges_at, weights=(la & lb).astype(np.float64), minlength=m
-        )
-        both_unmatched = np.bincount(
-            edges_at, weights=(~la & ~lb).astype(np.float64), minlength=m
-        )
-        gain = np.where(
-            labels,
-            both_unmatched - both_matched,
-            both_matched - both_unmatched,
-        )
         if gain.max() <= 0:
             break
         flip = int(np.argmax(gain))
         labels[flip] = not labels[flip]
+        # Only edges in a triangle with ``flip`` see different incident
+        # labels; ``flip`` itself keeps its counts and negates.
+        gain[flip] = -gain[flip]
+        rows = entry_order[entry_indptr[flip] : entry_indptr[flip + 1]]
+        affected = np.unique(
+            np.concatenate([other_a[rows], other_b[rows]])
+        )
+        if len(affected):
+            starts = entry_indptr[affected]
+            counts = entry_indptr[affected + 1] - starts
+            group = np.repeat(np.arange(len(affected)), counts)
+            within = np.arange(int(counts.sum())) - np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            arows = entry_order[starts[group] + within]
+            la = labels[other_a[arows]]
+            lb = labels[other_b[arows]]
+            matched = np.bincount(
+                group,
+                weights=(la & lb).astype(np.float64),
+                minlength=len(affected),
+            )
+            unmatched = np.bincount(
+                group,
+                weights=(~la & ~lb).astype(np.float64),
+                minlength=len(affected),
+            )
+            gain[affected] = np.where(
+                labels[affected], unmatched - matched, matched - unmatched
+            )
 
     if not labels.any():
         return [{node} for node in range(n)]

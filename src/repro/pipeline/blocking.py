@@ -581,6 +581,27 @@ class _TokenProbe:
             token: np.asarray(ids, dtype=np.int64)
             for token, ids in postings.items()
         }
+        self._df = df
+        self._limit = limit
+
+    def ingest(self, texts: list[str], start_id: int) -> None:
+        """Index new records under the frozen stop-token statistics.
+
+        An unseen token gets the serving-convention ``df = 1`` (it is
+        never a stop token), so ingested records are discoverable
+        through exactly the tokens a batch containing them would keep.
+        """
+        for offset, record in enumerate(_record_tokens(texts, self._q)):
+            rid = np.asarray([start_id + offset], dtype=np.int64)
+            for token in record:
+                if self._df.get(token, 1) > self._limit:
+                    continue
+                existing = self._postings.get(token)
+                self._postings[token] = (
+                    rid
+                    if existing is None
+                    else np.concatenate([existing, rid])
+                )
 
     def _keys(self, text: str) -> list[str]:
         if self._q:
@@ -629,6 +650,28 @@ class _PrefixProbe:
         }
         self._sizes = np.asarray(
             [len(record) for record in right_tokens], dtype=np.int64
+        )
+
+    def ingest(self, texts: list[str], start_id: int) -> None:
+        """Index new records; the rarity ranks stay frozen.
+
+        Indexed records post *all* their tokens (the batch convention
+        for the right side), so only the query-side prefix depends on
+        the frozen document frequencies.
+        """
+        sizes = []
+        for offset, record in enumerate(_record_tokens(texts, 0)):
+            rid = np.asarray([start_id + offset], dtype=np.int64)
+            sizes.append(len(record))
+            for token in record:
+                existing = self._postings.get(token)
+                self._postings[token] = (
+                    rid
+                    if existing is None
+                    else np.concatenate([existing, rid])
+                )
+        self._sizes = np.concatenate(
+            [self._sizes, np.asarray(sizes, dtype=np.int64)]
         )
 
     def probe(self, text: str) -> np.ndarray:
@@ -711,6 +754,26 @@ class _MinhashProbe:
         chunks = signature.reshape(self._bands, self._rows)
         return _fold_band(chunks)
 
+    def ingest(self, texts: list[str], start_id: int) -> None:
+        """Index new records; the minhash permutations stay frozen.
+
+        Banding collisions are pairwise, so post-ingest probes are
+        *exactly* the batch candidates over the grown collection.
+        """
+        for offset, text in enumerate(texts):
+            signature = self._signature(text)
+            if signature is None:
+                continue
+            rid = np.asarray([start_id + offset], dtype=np.int64)
+            for band, key in enumerate(self._band_keys(signature)):
+                table = self._buckets[band]
+                existing = table.get(int(key))
+                table[int(key)] = (
+                    rid
+                    if existing is None
+                    else np.concatenate([existing, rid])
+                )
+
     def probe(self, text: str) -> np.ndarray:
         signature = self._signature(text)
         empty = np.zeros(0, dtype=np.int64)
@@ -766,6 +829,26 @@ class BlockingIndex:
         parts = [probe.probe(text) for probe in self._probes]
         merged = np.concatenate(parts) if parts else np.zeros(0, np.int64)
         return np.unique(merged)
+
+    def ingest(self, texts: list[str]) -> np.ndarray:
+        """Index new records in place; returns their assigned ids.
+
+        The build-time corpus statistics (document frequencies, stop
+        limits, rarity ranks, minhash permutations) stay frozen — only
+        the posting lists grow, so existing candidates never change
+        and every probe stays deterministic.  Statistics-free schemes
+        (``minhash``, and ``tokens`` with no stop tokens in play)
+        probe *exactly* like a batch build over the grown collection;
+        the df-dependent schemes probe like a batch that reuses the
+        build-time frequencies — the same serving convention novel
+        query records already get.
+        """
+        texts = list(texts)
+        start = self.n_indexed
+        for probe in self._probes:
+            probe.ingest(texts, start)
+        object.__setattr__(self, "n_indexed", start + len(texts))
+        return np.arange(start, start + len(texts), dtype=np.int64)
 
 
 def build_blocking_index(

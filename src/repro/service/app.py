@@ -22,6 +22,12 @@ Endpoints
     ``{"left": [...], "right": [...], "algorithm", "threshold"?,
     "measure"?}`` — match two small ad-hoc collections with any of
     the 10 bipartite algorithms.
+``POST /ingest``
+    ``{"dataset", "records": [{"id", "text"}, ...]}`` — append
+    records to a warm index without a cold rebuild: the blocking
+    index grows its posting lists in place under its frozen
+    build-time statistics and the next ``/resolve`` can return the
+    new records.
 
 Warmup runs under the ASGI *lifespan* protocol: index builds happen
 exactly once, before the first request is accepted; a failed build
@@ -209,6 +215,47 @@ def create_app(config: ServiceConfig) -> App:
             },
             headers={"X-Batch-Size": str(batch_size)},
         )
+
+    @app.route("POST", "/ingest")
+    async def ingest(request: Request) -> JSONResponse:
+        payload = _body_object(request)
+        service = _service()
+        dataset = _string_field(payload, "dataset")
+        raw = payload.get("records")
+        if not isinstance(raw, list) or not raw:
+            raise HTTPError(
+                422, "'records' must be a non-empty list of objects"
+            )
+        if len(raw) > MAX_MATCH_RECORDS:
+            raise HTTPError(
+                422,
+                f"'records' exceeds {MAX_MATCH_RECORDS} per request; "
+                "ingest in smaller batches",
+            )
+        records = []
+        for entry in raw:
+            if not isinstance(entry, dict):
+                raise HTTPError(
+                    422, "every record must be an object with id and text"
+                )
+            records.append(
+                (
+                    _string_field(entry, "id"),
+                    _string_field(entry, "text"),
+                )
+            )
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        try:
+            report = await loop.run_in_executor(
+                None, service.ingest, dataset, records
+            )
+        except KeyError as error:
+            raise HTTPError(404, str(error).strip('"')) from None
+        except ValueError as error:
+            raise HTTPError(422, str(error)) from None
+        return JSONResponse(report)
 
     @app.route("POST", "/match")
     async def match(request: Request) -> JSONResponse:

@@ -140,6 +140,23 @@ class ResolverIndex:
     def n_indexed(self) -> int:
         return len(self.rights)
 
+    def ingest(self, records: list[tuple[str, str]]) -> int:
+        """Ingest ``(record_id, text)`` pairs into the warm index.
+
+        The incremental counterpart of a cold rebuild: the blocking
+        index grows its posting lists in place under its frozen
+        build-time statistics (:meth:`BlockingIndex.ingest`) and the
+        indexed collection extends, so the very next probe can surface
+        the new records.  Scoring needs no update at all — every
+        resolve pass builds its :class:`StringBatch` from the current
+        ``rights``.  Returns the new indexed-collection size.
+        """
+        texts = [text for _, text in records]
+        self.probe.ingest(texts)
+        self.right_ids.extend(record_id for record_id, _ in records)
+        self.rights.extend(texts)
+        return self.n_indexed
+
     def describe(self) -> dict:
         return {
             "code": self.code,
@@ -173,6 +190,29 @@ class ResolverService:
             raise KeyError(
                 f"dataset {code!r} is not served; serving: {known}"
             ) from None
+
+    # ---------------------------------------------------------- ingest
+    def ingest(self, code: str, records: list[tuple[str, str]]) -> dict:
+        """Ingest records into the warm index of dataset ``code``.
+
+        Records are ``(record_id, text)`` pairs appended to the
+        indexed (right) collection; ids need not be unique but empty
+        texts or ids are rejected.  Subsequent :meth:`resolve_batch`
+        calls see the new records immediately — no rebuild, no
+        service restart.
+        """
+        index = self.index(code)
+        for record_id, text in records:
+            if not record_id or not text:
+                raise ValueError(
+                    "every record needs a non-empty id and text"
+                )
+        n_indexed = index.ingest(records)
+        return {
+            "dataset": index.code,
+            "added": len(records),
+            "n_indexed": n_indexed,
+        }
 
     # --------------------------------------------------------- resolve
     def resolve_batch(

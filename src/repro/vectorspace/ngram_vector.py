@@ -17,7 +17,6 @@ grams as stop words, matching their intent.
 
 from __future__ import annotations
 
-import math
 from collections import Counter
 from dataclasses import dataclass
 

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.evaluation.metrics import evaluate_clusters
-from repro.evaluation.sweep import DEFAULT_THRESHOLD_GRID, dirty_threshold_sweep
+from repro.evaluation.sweep import dirty_threshold_sweep
 from repro.experiments.dirty_er import run_dirty_er_sweeps
 from repro.extensions.dirty_er import DIRTY_ALGORITHM_CODES, create_clusterer
 from repro.pipeline.workbench import (

@@ -93,7 +93,6 @@ class TestRunMatchingSweeps:
     def test_one_task_per_graph(self, monkeypatch):
         """The chunked driver pickles each graph once, not per cell."""
         from concurrent import futures as futures_module
-        from repro.experiments import runner
 
         submitted = []
         original = futures_module.ProcessPoolExecutor.submit

@@ -1,0 +1,137 @@
+"""Incremental clustering must equal the batch path, partition-for-partition.
+
+Streams random edge deltas through the graph mutators plus an
+:class:`~repro.extensions.incremental.IncrementalClusterer` per
+algorithm, querying the maintained partition after every batch (so
+the per-component caches are exercised, not bypassed), and compares
+the final partitions against a from-scratch batch clustering of the
+same edge set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.dirty_er import (
+    DIRTY_ALGORITHM_CODES,
+    DirtyClusterer,
+)
+from repro.extensions.incremental import IncrementalClusterer
+from repro.graph.incremental import (
+    add_uni_nodes,
+    delete_uni_edges,
+    insert_uni_edges,
+)
+from repro.graph.unipartite import UnipartiteGraph
+
+N_NODES = 8
+THRESHOLD = 0.5
+WEIGHTS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def canonical(clusters) -> list[tuple[int, ...]]:
+    return sorted(tuple(sorted(cluster)) for cluster in clusters)
+
+
+@st.composite
+def edge_stream(draw):
+    pairs = [
+        (u, v) for u in range(N_NODES) for v in range(u + 1, N_NODES)
+    ]
+    chosen = draw(
+        st.lists(
+            st.tuples(st.sampled_from(pairs), st.sampled_from(WEIGHTS)),
+            max_size=len(pairs),
+            unique_by=lambda entry: entry[0],
+        )
+    )
+    batch_size = draw(st.integers(1, 5))
+    return chosen, batch_size
+
+
+def batch_partitions(edges) -> dict[str, list[tuple[int, ...]]]:
+    graph = UnipartiteGraph(
+        N_NODES,
+        [u for (u, _), _ in edges],
+        [v for (_, v), _ in edges],
+        [w for _, w in edges],
+    )
+    compiled = graph.compiled()
+    return {
+        code: canonical(
+            DirtyClusterer(code).cluster_compiled(compiled, THRESHOLD)
+        )
+        for code in DIRTY_ALGORITHM_CODES
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=edge_stream())
+def test_streamed_inserts_match_batch(stream):
+    edges, batch_size = stream
+    compiled = UnipartiteGraph(N_NODES, [], [], []).compiled()
+    maintained = {
+        code: IncrementalClusterer(code, compiled, THRESHOLD)
+        for code in DIRTY_ALGORITHM_CODES
+    }
+    for at in range(0, len(edges), batch_size):
+        batch = edges[at : at + batch_size]
+        u = np.asarray([pair[0] for pair, _ in batch])
+        v = np.asarray([pair[1] for pair, _ in batch])
+        w = np.asarray([weight for _, weight in batch])
+        insert_uni_edges(compiled, u, v, w)
+        for clusterer in maintained.values():
+            clusterer.insert(u, v, w)
+            clusterer.partition()  # exercise the caches mid-stream
+    expected = batch_partitions(edges)
+    for code, clusterer in maintained.items():
+        assert canonical(clusterer.partition()) == expected[code], code
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=edge_stream(), data=st.data())
+def test_deletes_match_batch(stream, data):
+    edges, _ = stream
+    compiled = UnipartiteGraph(N_NODES, [], [], []).compiled()
+    maintained = {
+        code: IncrementalClusterer(code, compiled, THRESHOLD)
+        for code in DIRTY_ALGORITHM_CODES
+    }
+    u = np.asarray([pair[0] for pair, _ in edges], dtype=np.int64)
+    v = np.asarray([pair[1] for pair, _ in edges], dtype=np.int64)
+    w = np.asarray([weight for _, weight in edges])
+    insert_uni_edges(compiled, u, v, w)
+    for clusterer in maintained.values():
+        clusterer.insert(u, v, w)
+        clusterer.partition()
+    drop = data.draw(
+        st.lists(
+            st.integers(0, max(len(edges) - 1, 0)),
+            max_size=len(edges),
+            unique=True,
+        )
+        if edges
+        else st.just([])
+    )
+    if drop:
+        delete_uni_edges(compiled, u[drop], v[drop], w[drop])
+        for clusterer in maintained.values():
+            clusterer.delete(u[drop], v[drop], w[drop])
+    survivors = [
+        entry for at, entry in enumerate(edges) if at not in set(drop)
+    ]
+    expected = batch_partitions(survivors)
+    for code, clusterer in maintained.items():
+        assert canonical(clusterer.partition()) == expected[code], code
+
+
+def test_node_growth_is_observed():
+    compiled = UnipartiteGraph(2, [0], [1], [0.9]).compiled()
+    clusterer = IncrementalClusterer("CC", compiled, THRESHOLD)
+    add_uni_nodes(compiled, 2)
+    clusterer.add_nodes(2)
+    insert_uni_edges(compiled, [2], [3], [0.8])
+    clusterer.insert([2], [3], [0.8])
+    assert canonical(clusterer.partition()) == [(0, 1), (2, 3)]

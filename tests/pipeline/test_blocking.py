@@ -275,6 +275,72 @@ class TestProbeEqualsBatchRow:
         assert index.n_indexed == 1
 
 
+class TestIngest:
+    """Warm-index growth: posting lists extend in place, the frozen
+    build-time statistics don't move.  For the statistics-free schemes
+    an ingest-grown index probes exactly like a from-scratch build
+    over the grown collection."""
+
+    @given(lefts=strings, rights=strings, extra=strings)
+    @settings(max_examples=20, deadline=None)
+    def test_minhash_ingest_probes_like_full_build(
+        self, lefts, rights, extra
+    ):
+        spec = "minhash:bands=4,perms=8"
+        grown = build_blocking_index(lefts, rights, spec)
+        ids = grown.ingest(extra)
+        assert ids.tolist() == list(
+            range(len(rights), len(rights) + len(extra))
+        )
+        full = build_blocking_index(lefts, rights + extra, spec)
+        assert grown.n_indexed == full.n_indexed
+        for text in (*lefts, *extra, "novel record", ""):
+            assert np.array_equal(grown.probe(text), full.probe(text))
+
+    @given(lefts=strings, rights=strings, extra=strings)
+    @settings(max_examples=20, deadline=None)
+    def test_tokens_ingest_without_stop_tokens_matches_full_build(
+        self, lefts, rights, extra
+    ):
+        # max_df=1.0 disables the stop-token filter, the only place
+        # the tokens scheme consults corpus statistics — so ingest
+        # must reproduce a full rebuild bit-for-bit.
+        spec = "tokens:max_df=1.0"
+        grown = build_blocking_index(lefts, rights, spec)
+        grown.ingest(extra)
+        full = build_blocking_index(lefts, rights + extra, spec)
+        for text in (*lefts, *extra, "novel record"):
+            assert np.array_equal(grown.probe(text), full.probe(text))
+
+    @given(lefts=strings, rights=strings, extra=strings)
+    @settings(max_examples=20, deadline=None)
+    def test_ingest_is_monotone_and_discoverable(
+        self, lefts, rights, extra
+    ):
+        # Composite spec including the df-dependent prefix scheme:
+        # old candidates never change (frozen statistics), additions
+        # are only ever new ids, and every ingested record is
+        # discoverable by probing its own text.
+        spec = "tokens+prefix:threshold=0.3"
+        index = build_blocking_index(lefts, rights, spec)
+        before = {text: index.probe(text) for text in lefts}
+        ids = index.ingest(extra)
+        for text in lefts:
+            after = index.probe(text)
+            old = after[after < len(rights)]
+            assert np.array_equal(old, before[text])
+        for record_id, text in zip(ids.tolist(), extra):
+            if tokens(text):
+                assert record_id in index.probe(text).tolist()
+
+    def test_empty_ingest_is_a_noop(self):
+        index = build_blocking_index(["alpha"], ["alpha beta"], "tokens")
+        before = index.probe("alpha")
+        assert index.ingest([]).shape == (0,)
+        assert index.n_indexed == 1
+        assert np.array_equal(index.probe("alpha"), before)
+
+
 class TestSpecParsing:
     def test_defaults_are_canonicalized(self):
         assert canonical_blocking("tokens") == "tokens:max_df=0.5,q=0"

@@ -12,7 +12,7 @@ from __future__ import annotations
 import asyncio
 
 from repro.service import ServiceConfig, create_app
-from repro.service.testclient import AsgiClient, run_app
+from repro.service.testclient import run_app
 
 SERVICE_DATASET = "d1"
 
